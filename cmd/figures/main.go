@@ -1,0 +1,129 @@
+// Command figures regenerates the paper's evaluation figures (Figure 5
+// through Figure 9) and the ablation studies on the simulated machine.
+//
+// Usage:
+//
+//	figures             # everything
+//	figures -fig 5      # one figure
+//	figures -fig ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"refidem/internal/engine"
+	"refidem/internal/experiments"
+	"refidem/internal/ir"
+	"refidem/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, ablation, all")
+	workers := flag.Int("workers", 0, "parallel simulator runs (0 = all cores)")
+	jsonOut := flag.Bool("json", false, "emit every experiment as one JSON document")
+	flag.Parse()
+
+	cfg := engine.DefaultConfig()
+	if *jsonOut {
+		if err := experiments.WriteJSON(os.Stdout, cfg, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var err error
+	switch *fig {
+	case "5":
+		err = fig5(cfg, *workers)
+	case "6", "7", "8", "9":
+		err = figLoops(int((*fig)[0]-'0'), cfg, *workers)
+	case "ablation":
+		err = ablations(cfg, *workers)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return fig5(cfg, *workers) },
+			func() error { return figLoops(6, cfg, *workers) },
+			func() error { return figLoops(7, cfg, *workers) },
+			func() error { return figLoops(8, cfg, *workers) },
+			func() error { return figLoops(9, cfg, *workers) },
+			func() error { return ablations(cfg, *workers) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func fig5(cfg engine.Config, workers int) error {
+	rows, err := experiments.Figure5(cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderFigure5(rows))
+	return nil
+}
+
+func figLoops(fig int, cfg engine.Config, workers int) error {
+	results, err := experiments.FigureLoops(fig, cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderFigureLoops(fig, results))
+	fmt.Println()
+	return nil
+}
+
+func ablations(cfg engine.Config, workers int) error {
+	tom, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	caps := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	pts, err := experiments.AblationCapacity(tom, caps, cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderCapacity(tom.String(), pts))
+	fmt.Println()
+
+	rows, err := experiments.AblationCategories(tom, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderCategories(tom.String(), rows))
+	fmt.Println()
+
+	resid, _ := workloads.FindLoop("MGRID", "RESID_DO600")
+	pp, err := experiments.AblationProcessors(resid, []int{1, 2, 4, 8, 16}, cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderProcessors(resid.String(), pp))
+	fmt.Println()
+
+	fmt.Println(experiments.RenderDirections(
+		experiments.AblationDepDirection(experiments.DefaultDirectionPrograms())))
+	fmt.Println()
+
+	gp, err := experiments.AblationGranularity(
+		experiments.NamedProgram{Name: resid.String(), Make: func() *ir.Program { return resid.Program() }},
+		[]int{1, 2, 3, 5, 6}, cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderGranularity(resid.String(), gp))
+	fmt.Println()
+
+	ap, err := experiments.AblationAssociativity(tom, cfg, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.RenderAssociativity(tom.String(), ap))
+	return nil
+}

@@ -1,0 +1,38 @@
+// Overflow study: the paper's central bottleneck, measured. Sweeps the
+// speculative storage capacity on the TOMCATV relaxation loop and on the
+// MGRID residual sweep, showing the HOSE overflow cliff and CASE's
+// insensitivity — idempotent references simply do not occupy speculative
+// storage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"refidem/internal/engine"
+	"refidem/internal/experiments"
+	"refidem/internal/workloads"
+)
+
+func main() {
+	cfg := engine.DefaultConfig()
+	capacities := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	for _, name := range [][2]string{
+		{"TOMCATV", "MAIN_DO80"},
+		{"MGRID", "RESID_DO600"},
+	} {
+		spec, ok := workloads.FindLoop(name[0], name[1])
+		if !ok {
+			log.Fatalf("unknown loop %v", name)
+		}
+		pts, err := experiments.AblationCapacity(spec, capacities, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RenderCapacity(spec.String(), pts))
+		fmt.Println()
+	}
+	fmt.Println("Reading the tables: HOSE needs capacity beyond the segment working set")
+	fmt.Println("to stop overflowing; CASE holds its speedup even at 8 entries because")
+	fmt.Println("idempotent references bypass speculative storage entirely.")
+}

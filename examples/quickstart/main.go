@@ -1,0 +1,56 @@
+// Quickstart: parse a small program, run the idempotency analysis, and
+// execute it under all three models of the paper — sequential, HOSE
+// (hardware-only speculation) and CASE (compiler-assisted speculation).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"refidem"
+)
+
+const src = `
+program quickstart
+var a[64]
+var b[64]
+var sum[40]
+region main loop k = 0 to 31 {
+  liveout a, sum
+  # b is read-only; a[k] is a first write; the sum recurrence carries a
+  # cross-segment flow dependence, so the compiler cannot prove the loop
+  # parallel -- speculation has to do it.
+  a[k] = b[k] * 2 + b[k+1]
+  sum[k+6] = sum[k] + a[k]
+}
+`
+
+func main() {
+	p, err := refidem.ParseProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The compiler half: label every reference.
+	labs := refidem.LabelProgram(p)
+	for _, r := range p.Regions {
+		lab := labs[r]
+		fmt.Printf("region %q:\n", r.Name)
+		for _, ref := range r.Refs {
+			fmt.Printf("  %-28v -> %-12v (%v)\n", ref, lab.Labels[ref], lab.Categories[ref])
+		}
+	}
+
+	// The architecture half: run sequential / HOSE / CASE and compare.
+	rs, err := refidem.Run(p, refidem.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsequential: %8d cycles\n", rs.Seq.Cycles)
+	fmt.Printf("HOSE:       %8d cycles  (%.2fx)\n", rs.Hose.Cycles, rs.HoseSpeedup())
+	fmt.Printf("CASE:       %8d cycles  (%.2fx)\n", rs.Case.Cycles, rs.CaseSpeedup())
+	fmt.Printf("\n%.0f%% of dynamic references are idempotent and bypassed speculative storage.\n",
+		rs.IdempotentFraction()*100)
+	fmt.Printf("speculative storage peak: HOSE %d entries, CASE %d entries\n",
+		rs.Hose.Stats.PeakSpecOccupancy, rs.Case.Stats.PeakSpecOccupancy)
+}

@@ -1,0 +1,238 @@
+// Package cfg provides the segment control-flow graph used by the
+// re-occurring-first-write analysis (Algorithm 1 of the paper) and by the
+// dependence analysis. Nodes are segments plus a distinguished synthetic
+// exit node placed at the region exit, exactly as the paper's algorithm
+// prescribes ("An extra node v_exit is placed at the exit of R").
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"refidem/internal/ir"
+)
+
+// Exit is the node ID of the synthetic exit node v_exit.
+const Exit = -1
+
+// Graph is a directed graph over segment IDs. For CFG regions it mirrors
+// the region's segment edges; for loop regions it is the two-node
+// template→exit chain (the iteration chain is handled symbolically by the
+// analyses). Every node with no explicit successor gets an edge to Exit.
+type Graph struct {
+	// Nodes lists the real (non-exit) node IDs in age order.
+	Nodes []int
+	succs map[int][]int
+	preds map[int][]int
+	age   map[int]int
+}
+
+// FromRegion builds the segment graph of a region. For a CFG region the
+// graph has one node per segment with the declared edges; segments without
+// successors point at Exit. For a loop region the graph is the single
+// template segment with an edge to Exit.
+func FromRegion(r *ir.Region) *Graph {
+	g := &Graph{succs: make(map[int][]int), preds: make(map[int][]int), age: make(map[int]int)}
+	for i, s := range r.Segments {
+		g.Nodes = append(g.Nodes, s.ID)
+		g.age[s.ID] = i
+	}
+	for _, s := range r.Segments {
+		if len(s.Succs) == 0 {
+			g.addEdge(s.ID, Exit)
+			continue
+		}
+		for _, succ := range s.Succs {
+			g.addEdge(s.ID, succ)
+		}
+	}
+	return g
+}
+
+// New builds a graph from explicit nodes (in age order) and edges; edges to
+// Exit are permitted. Used by tests and by the random program generator.
+func New(nodes []int, edges [][2]int) (*Graph, error) {
+	g := &Graph{succs: make(map[int][]int), preds: make(map[int][]int), age: make(map[int]int)}
+	for i, n := range nodes {
+		if n == Exit {
+			return nil, fmt.Errorf("cfg: node ID %d is reserved for the exit node", Exit)
+		}
+		if _, dup := g.age[n]; dup {
+			return nil, fmt.Errorf("cfg: duplicate node %d", n)
+		}
+		g.Nodes = append(g.Nodes, n)
+		g.age[n] = i
+	}
+	for _, e := range edges {
+		if _, ok := g.age[e[0]]; !ok {
+			return nil, fmt.Errorf("cfg: edge from unknown node %d", e[0])
+		}
+		if e[1] != Exit {
+			if _, ok := g.age[e[1]]; !ok {
+				return nil, fmt.Errorf("cfg: edge to unknown node %d", e[1])
+			}
+		}
+		g.addEdge(e[0], e[1])
+	}
+	for _, n := range g.Nodes {
+		if len(g.succs[n]) == 0 {
+			g.addEdge(n, Exit)
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addEdge(from, to int) {
+	for _, s := range g.succs[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succs[from] = append(g.succs[from], to)
+	g.preds[to] = append(g.preds[to], from)
+}
+
+// Succs returns the successors of n (possibly including Exit).
+func (g *Graph) Succs(n int) []int { return g.succs[n] }
+
+// Preds returns the predecessors of n.
+func (g *Graph) Preds(n int) []int { return g.preds[n] }
+
+// Age returns the age rank of a node: older segments have smaller ranks.
+// The exit node is younger than everything.
+func (g *Graph) Age(n int) int {
+	if n == Exit {
+		return len(g.Nodes)
+	}
+	return g.age[n]
+}
+
+// Entry returns the oldest node (age 0).
+func (g *Graph) Entry() int {
+	if len(g.Nodes) == 0 {
+		return Exit
+	}
+	return g.Nodes[0]
+}
+
+// Reaches reports whether there is a directed path from a to b (of length
+// zero or more; a node reaches itself).
+func (g *Graph) Reaches(a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := map[int]bool{a: true}
+	work := []int{a}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		for _, s := range g.succs[n] {
+			if s == b {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return false
+}
+
+// OnCommonPath reports whether some control-flow path through the region
+// contains both a and b. Since the graph is a DAG in age order, that is
+// equivalent to one reaching the other. Dependences only exist between
+// references whose segments can co-occur on a path (e.g. the two exclusive
+// branch arms of Figure 2 carry no mutual dependence).
+func (g *Graph) OnCommonPath(a, b int) bool {
+	return g.Reaches(a, b) || g.Reaches(b, a)
+}
+
+// BFS visits nodes breadth-first from the entry node, calling f on each
+// real node (not Exit). This is the traversal order of Algorithm 1.
+func (g *Graph) BFS(f func(n int)) {
+	if len(g.Nodes) == 0 {
+		return
+	}
+	seen := map[int]bool{g.Entry(): true}
+	queue := []int{g.Entry()}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		f(n)
+		for _, s := range g.succs[n] {
+			if s != Exit && !seen[s] {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+}
+
+// Descendants returns the set of nodes reachable from n by one or more
+// edges (Exit excluded).
+func (g *Graph) Descendants(n int) map[int]bool {
+	out := make(map[int]bool)
+	work := append([]int(nil), g.succs[n]...)
+	for len(work) > 0 {
+		x := work[0]
+		work = work[1:]
+		if x == Exit || out[x] {
+			continue
+		}
+		out[x] = true
+		work = append(work, g.succs[x]...)
+	}
+	return out
+}
+
+// Paths enumerates every path from the node `from` to the exit node, as
+// slices of real node IDs (Exit omitted). It is exponential and intended
+// only for tests and the RFW property checker on small graphs; maxPaths
+// bounds the enumeration (0 means unlimited).
+func (g *Graph) Paths(from int, maxPaths int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(n int) bool
+	rec = func(n int) bool {
+		if n == Exit {
+			path := append([]int(nil), cur...)
+			out = append(out, path)
+			return maxPaths > 0 && len(out) >= maxPaths
+		}
+		cur = append(cur, n)
+		for _, s := range g.succs[n] {
+			if rec(s) {
+				return true
+			}
+		}
+		cur = cur[:len(cur)-1]
+		return false
+	}
+	rec(from)
+	return out
+}
+
+// NodesYoungerThan returns all real nodes with age strictly greater than
+// the age of n, sorted by age.
+func (g *Graph) NodesYoungerThan(n int) []int {
+	var out []int
+	for _, m := range g.Nodes {
+		if g.Age(m) > g.Age(n) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return g.Age(out[i]) < g.Age(out[j]) })
+	return out
+}
+
+// HasBranch reports whether any node has more than one successor, which
+// for a region means cross-segment control dependence exists.
+func (g *Graph) HasBranch() bool {
+	for _, n := range g.Nodes {
+		if len(g.succs[n]) > 1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,325 @@
+// Package dataflow implements the prerequisite compiler analyses the paper
+// assumes from a state-of-the-art parallelizing compiler (§4.2.1): per-
+// segment variable summaries (the Write/Read/Null node attributes consumed
+// by Algorithm 1), region live-out analysis, read-only variable detection,
+// and private (privatizable) variable detection in the style of Tu and
+// Padua's array/scalar privatization.
+package dataflow
+
+import (
+	"refidem/internal/ir"
+)
+
+// Attr is the per-(segment, variable) attribute of Algorithm 1.
+type Attr uint8
+
+const (
+	// NullAttr: the segment has no reference to the variable (or only
+	// references that neither must-define it nor expose a read; see
+	// SegAttrs).
+	NullAttr Attr = iota
+	// ReadAttr: some path through the segment reads the variable before
+	// any write to it (an exposed read).
+	ReadAttr
+	// WriteAttr: the variable is defined on all paths through the segment
+	// without an exposed read (a must-definition covering every read).
+	WriteAttr
+)
+
+func (a Attr) String() string {
+	switch a {
+	case ReadAttr:
+		return "Read"
+	case WriteAttr:
+		return "Write"
+	default:
+		return "Null"
+	}
+}
+
+// state tracks, during the structured walk of a segment body, what has
+// happened to one variable so far along all paths.
+type state struct {
+	// mustDef: the variable is written on every path up to this point.
+	mustDef bool
+	// exposed: some path up to this point reads the variable before any
+	// write to it on that path.
+	exposed bool
+	// referenced: any reference at all was seen.
+	referenced bool
+}
+
+// merge combines the states of two alternative branches.
+func merge(a, b state) state {
+	return state{
+		mustDef:    a.mustDef && b.mustDef,
+		exposed:    a.exposed || b.exposed,
+		referenced: a.referenced || b.referenced,
+	}
+}
+
+// SegAttrs computes the Algorithm 1 attribute of every variable referenced
+// in the segment, at whole-variable granularity. Array element writes never
+// must-define the whole array (the write covers one cell), so arrays with
+// any read get ReadAttr and arrays with only writes get NullAttr; the
+// loop-region RFW analysis refines arrays location-wise using dependence
+// tests instead. Scalars are tracked precisely through the structured
+// control flow of the segment body.
+func SegAttrs(seg *ir.Segment) map[*ir.Var]Attr {
+	states := make(map[*ir.Var]state)
+	walkStmts(seg.Body, states)
+	if seg.Branch != nil {
+		for _, ref := range ir.ExprRefs(seg.Branch) {
+			readRef(ref, states)
+		}
+	}
+	out := make(map[*ir.Var]Attr, len(states))
+	for v, st := range states {
+		if !st.referenced {
+			continue
+		}
+		switch {
+		case st.mustDef && !st.exposed:
+			out[v] = WriteAttr
+		case st.exposed:
+			out[v] = ReadAttr
+		default:
+			// Referenced, but neither must-defined nor exposed-read:
+			// e.g. a conditional write, or an array with only element
+			// writes. Null per Algorithm 1's attribute rules.
+			out[v] = NullAttr
+		}
+	}
+	return out
+}
+
+func walkStmts(stmts []ir.Stmt, states map[*ir.Var]state) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ir.Assign:
+			for _, ref := range ir.ExprRefs(s.RHS) {
+				readRef(ref, states)
+			}
+			for _, sub := range s.LHS.Subs {
+				for _, ref := range ir.ExprRefs(sub) {
+					readRef(ref, states)
+				}
+			}
+			writeRef(s.LHS, states)
+		case *ir.If:
+			for _, ref := range ir.ExprRefs(s.Cond) {
+				readRef(ref, states)
+			}
+			// Analyze both arms from the current state and merge.
+			thenSt := cloneStates(states)
+			elseSt := cloneStates(states)
+			walkStmts(s.Then, thenSt)
+			walkStmts(s.Else, elseSt)
+			mergeInto(states, thenSt, elseSt)
+		case *ir.For:
+			trips := ir.LoopInfo{From: s.From, To: s.To, Step: s.Step}.Trips()
+			if trips == 0 {
+				continue
+			}
+			// The loop executes at least once (static bounds), so its
+			// body's first iteration effects apply unconditionally.
+			walkStmts(s.Body, states)
+		case *ir.ExitRegion:
+			for _, ref := range ir.ExprRefs(s.Cond) {
+				readRef(ref, states)
+			}
+		}
+	}
+}
+
+func readRef(ref *ir.Ref, states map[*ir.Var]state) {
+	st := states[ref.Var]
+	st.referenced = true
+	if !st.mustDef {
+		st.exposed = true
+	}
+	states[ref.Var] = st
+}
+
+func writeRef(ref *ir.Ref, states map[*ir.Var]state) {
+	st := states[ref.Var]
+	st.referenced = true
+	// An element write to an array does not must-define the aggregate.
+	if ref.Var.IsScalar() {
+		st.mustDef = true
+	}
+	states[ref.Var] = st
+}
+
+func cloneStates(m map[*ir.Var]state) map[*ir.Var]state {
+	out := make(map[*ir.Var]state, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeInto(dst, a, b map[*ir.Var]state) {
+	vars := make(map[*ir.Var]bool)
+	for v := range a {
+		vars[v] = true
+	}
+	for v := range b {
+		vars[v] = true
+	}
+	for v := range vars {
+		dst[v] = merge(a[v], b[v])
+	}
+}
+
+// RegionInfo aggregates the prerequisite analysis results for one region.
+type RegionInfo struct {
+	// Attrs maps segment ID to the per-variable Algorithm 1 attributes.
+	Attrs map[int]map[*ir.Var]Attr
+	// LiveOut holds the variables live after the region exit.
+	LiveOut map[*ir.Var]bool
+	// ReadOnly holds the variables with no write reference in the region.
+	ReadOnly map[*ir.Var]bool
+	// Private holds the segment-private variables (declared or inferred).
+	Private map[*ir.Var]bool
+}
+
+// AnalyzeRegion computes the RegionInfo of r. liveOut gives the variables
+// live after the region; if nil, the region's LiveOut annotation is used,
+// and if that is also absent every referenced non-private variable is
+// conservatively considered live.
+func AnalyzeRegion(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *RegionInfo {
+	info := &RegionInfo{
+		Attrs:    make(map[int]map[*ir.Var]Attr),
+		LiveOut:  make(map[*ir.Var]bool),
+		ReadOnly: make(map[*ir.Var]bool),
+		Private:  make(map[*ir.Var]bool),
+	}
+	for _, seg := range r.Segments {
+		info.Attrs[seg.ID] = SegAttrs(seg)
+	}
+
+	// Read-only: no write reference anywhere in the region.
+	written := make(map[*ir.Var]bool)
+	for _, ref := range r.Refs {
+		if ref.Access == ir.Write {
+			written[ref.Var] = true
+		}
+	}
+	for _, v := range r.RegionVars() {
+		if !written[v] {
+			info.ReadOnly[v] = true
+		}
+	}
+
+	// Live-out resolution.
+	switch {
+	case liveOut != nil:
+		for v, ok := range liveOut {
+			if ok {
+				info.LiveOut[v] = true
+			}
+		}
+	case r.Ann.LiveOut != nil:
+		for name, ok := range r.Ann.LiveOut {
+			if ok {
+				if v := p.Var(name); v != nil {
+					info.LiveOut[v] = true
+				}
+			}
+		}
+	default:
+		for _, v := range r.RegionVars() {
+			info.LiveOut[v] = true
+		}
+	}
+
+	// Private variables: declared ones first.
+	for name, ok := range r.Ann.Private {
+		if ok {
+			if v := p.Var(name); v != nil {
+				info.Private[v] = true
+			}
+		}
+	}
+	// Inferred: a variable is privatizable when every segment that
+	// references it must-defines it before any read (WriteAttr) and it is
+	// not live after the region. Such a variable carries no value across
+	// segments, so each segment can use its own copy.
+	for _, v := range r.RegionVars() {
+		if info.Private[v] || info.LiveOut[v] || info.ReadOnly[v] {
+			continue
+		}
+		ok := true
+		for _, seg := range r.Segments {
+			attr, referenced := info.Attrs[seg.ID][v]
+			if !referenced {
+				continue
+			}
+			if attr != WriteAttr {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			info.Private[v] = true
+		}
+	}
+	// Private variables are by construction dead at region exit.
+	for v := range info.Private {
+		delete(info.LiveOut, v)
+	}
+	return info
+}
+
+// AnalyzeProgram runs AnalyzeRegion over every region with a backward
+// inter-region liveness pass: a variable is live out of region i when a
+// later region reads it (conservatively: references it at all) before the
+// end of the program, or when the final region's LiveOut annotation (or
+// the everything-live default) says so.
+func AnalyzeProgram(p *ir.Program) map[*ir.Region]*RegionInfo {
+	out := make(map[*ir.Region]*RegionInfo, len(p.Regions))
+	// live accumulates liveness backwards from the program end.
+	var live map[*ir.Var]bool
+	last := len(p.Regions) - 1
+	infos := make([]*RegionInfo, len(p.Regions))
+	for i := last; i >= 0; i-- {
+		r := p.Regions[i]
+		var liveOut map[*ir.Var]bool
+		if i == last {
+			liveOut = nil // use annotation or conservative default
+		} else {
+			liveOut = make(map[*ir.Var]bool, len(live))
+			for v, ok := range live {
+				if ok {
+					liveOut[v] = true
+				}
+			}
+			// The region's own annotation can only add liveness.
+			for name, ok := range r.Ann.LiveOut {
+				if ok {
+					if v := p.Var(name); v != nil {
+						liveOut[v] = true
+					}
+				}
+			}
+		}
+		infos[i] = AnalyzeRegion(p, r, liveOut)
+		out[r] = infos[i]
+		// Conservative transfer: anything referenced in r or live after r
+		// is live before r (no whole-region kill at aggregate
+		// granularity).
+		if live == nil {
+			live = make(map[*ir.Var]bool)
+		}
+		for v := range infos[i].LiveOut {
+			live[v] = true
+		}
+		for _, v := range r.RegionVars() {
+			if !infos[i].Private[v] {
+				live[v] = true
+			}
+		}
+	}
+	return out
+}

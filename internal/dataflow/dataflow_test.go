@@ -1,0 +1,253 @@
+package dataflow
+
+import (
+	"testing"
+
+	"refidem/internal/ir"
+)
+
+// seg builds a one-off segment with the given body.
+func seg(body ...ir.Stmt) *ir.Segment {
+	return &ir.Segment{ID: 0, Body: body}
+}
+
+func TestSegAttrsScalarWriteFirst(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	s := seg(
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(1)},
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.AddE(ir.Rd(x), ir.C(1))},
+	)
+	attrs := SegAttrs(s)
+	if attrs[x] != WriteAttr {
+		t.Errorf("write-then-read scalar: attr = %v, want Write", attrs[x])
+	}
+}
+
+func TestSegAttrsExposedRead(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	s := seg(&ir.Assign{LHS: ir.Wr(x), RHS: ir.Rd(x)})
+	if attrs := SegAttrs(s); attrs[x] != ReadAttr {
+		t.Errorf("read-before-write: attr = %v, want Read", attrs[x])
+	}
+}
+
+func TestSegAttrsConditionalWriteIsNull(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	c := p.AddVar("c")
+	s := seg(&ir.If{Cond: ir.Rd(c), Then: []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(1)},
+	}})
+	attrs := SegAttrs(s)
+	if attrs[x] != NullAttr {
+		t.Errorf("conditional write: attr = %v, want Null", attrs[x])
+	}
+	if attrs[c] != ReadAttr {
+		t.Errorf("condition read: attr = %v, want Read", attrs[c])
+	}
+}
+
+func TestSegAttrsBothBranchesWrite(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	c := p.AddVar("c")
+	s := seg(&ir.If{
+		Cond: ir.Rd(c),
+		Then: []ir.Stmt{&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(1)}},
+		Else: []ir.Stmt{&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(2)}},
+	})
+	if attrs := SegAttrs(s); attrs[x] != WriteAttr {
+		t.Errorf("write in both branches: attr = %v, want Write", attrs[x])
+	}
+}
+
+func TestSegAttrsReadInOneBranchAfterWrite(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	c := p.AddVar("c")
+	// x=1; if c { =x }  -> covered read, Write attr.
+	s := seg(
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(1)},
+		&ir.If{Cond: ir.Rd(c), Then: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(c), RHS: ir.Rd(x)},
+		}},
+	)
+	if attrs := SegAttrs(s); attrs[x] != WriteAttr {
+		t.Errorf("covered read: attr = %v, want Write", attrs[x])
+	}
+}
+
+func TestSegAttrsArray(t *testing.T) {
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 8)
+	b := p.AddVar("b", 8)
+	s := seg(
+		&ir.Assign{LHS: ir.Wr(a, ir.C(0)), RHS: ir.C(1)},           // write-only array: Null
+		&ir.Assign{LHS: ir.Wr(a, ir.C(1)), RHS: ir.Rd(b, ir.C(0))}, // read array: Read
+	)
+	attrs := SegAttrs(s)
+	if attrs[a] != NullAttr {
+		t.Errorf("element-written array: attr = %v, want Null", attrs[a])
+	}
+	if attrs[b] != ReadAttr {
+		t.Errorf("read array: attr = %v, want Read", attrs[b])
+	}
+	// Even write-then-read of the same element is exposed at aggregate
+	// granularity (the write does not must-define the aggregate).
+	s2 := seg(
+		&ir.Assign{LHS: ir.Wr(a, ir.C(0)), RHS: ir.C(1)},
+		&ir.Assign{LHS: ir.Wr(b, ir.C(0)), RHS: ir.Rd(a, ir.C(0))},
+	)
+	if attrs := SegAttrs(s2); attrs[a] != ReadAttr {
+		t.Errorf("array write-then-read: attr = %v, want Read (conservative)", attrs[a])
+	}
+}
+
+func TestSegAttrsInnerLoop(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	// for j { x = j; y = x } -> x Write, y Write.
+	s := seg(&ir.For{Index: "j", From: 1, To: 3, Step: 1, Body: []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.Idx("j")},
+		&ir.Assign{LHS: ir.Wr(y), RHS: ir.Rd(x)},
+	}})
+	attrs := SegAttrs(s)
+	if attrs[x] != WriteAttr || attrs[y] != WriteAttr {
+		t.Errorf("attrs = x:%v y:%v, want Write Write", attrs[x], attrs[y])
+	}
+	// Zero-trip loop contributes nothing.
+	s2 := seg(&ir.For{Index: "j", From: 3, To: 1, Step: 1, Body: []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(0)},
+	}})
+	if attrs := SegAttrs(s2); attrs[x] != NullAttr {
+		t.Errorf("zero-trip loop: attr = %v, want Null (unreferenced)", attrs[x])
+	}
+}
+
+func TestSegAttrsLoopCarriedRead(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	// for j { = x; x = j } -> exposed read on first iteration.
+	s := seg(&ir.For{Index: "j", From: 1, To: 3, Step: 1, Body: []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(p.AddVar("y")), RHS: ir.Rd(x)},
+		&ir.Assign{LHS: ir.Wr(x), RHS: ir.Idx("j")},
+	}})
+	if attrs := SegAttrs(s); attrs[x] != ReadAttr {
+		t.Errorf("loop-carried: attr = %v, want Read", attrs[x])
+	}
+}
+
+func TestSegAttrsBranchCondition(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x")
+	s := &ir.Segment{ID: 0, Branch: ir.Rd(x), Succs: []int{1, 2}}
+	if attrs := SegAttrs(s); attrs[x] != ReadAttr {
+		t.Errorf("branch condition: attr = %v, want Read", attrs[x])
+	}
+}
+
+func buildRegion(p *ir.Program, name string, body []ir.Stmt) *ir.Region {
+	r := &ir.Region{
+		Name: name, Kind: ir.LoopRegion, Index: "k", From: 1, To: 4, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: body}},
+	}
+	r.Finalize()
+	p.AddRegion(r)
+	return r
+}
+
+func TestAnalyzeRegionReadOnlyAndPrivate(t *testing.T) {
+	p := ir.NewProgram("t")
+	ro := p.AddVar("ro", 8)
+	tv := p.AddVar("tv")
+	out := p.AddVar("out", 8)
+	r := buildRegion(p, "r", []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(tv), RHS: ir.Rd(ro, ir.Idx("k"))},
+		&ir.Assign{LHS: ir.Wr(out, ir.Idx("k")), RHS: ir.Rd(tv)},
+	})
+	r.Ann.LiveOut = map[string]bool{"out": true}
+	info := AnalyzeRegion(p, r, nil)
+	if !info.ReadOnly[ro] {
+		t.Error("ro should be read-only")
+	}
+	if !info.Private[tv] {
+		t.Error("tv should be inferred private (write-before-read, dead after region)")
+	}
+	if info.Private[out] || info.ReadOnly[out] {
+		t.Error("out misclassified")
+	}
+	if !info.LiveOut[out] || info.LiveOut[tv] {
+		t.Errorf("LiveOut = %v", info.LiveOut)
+	}
+}
+
+func TestAnalyzeRegionLiveScalarNotPrivate(t *testing.T) {
+	p := ir.NewProgram("t")
+	tv := p.AddVar("tv")
+	r := buildRegion(p, "r", []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(tv), RHS: ir.Idx("k")},
+	})
+	r.Ann.LiveOut = map[string]bool{"tv": true}
+	info := AnalyzeRegion(p, r, nil)
+	if info.Private[tv] {
+		t.Error("live-out scalar must not be private")
+	}
+}
+
+func TestAnalyzeRegionDeclaredPrivate(t *testing.T) {
+	p := ir.NewProgram("t")
+	w := p.AddVar("w", 8)
+	r := buildRegion(p, "r", []ir.Stmt{
+		// Read-before-write: not inferable as private, but declared.
+		&ir.Assign{LHS: ir.Wr(w, ir.Idx("k")), RHS: ir.Rd(w, ir.Idx("k"))},
+	})
+	r.Ann.Private = map[string]bool{"w": true}
+	info := AnalyzeRegion(p, r, nil)
+	if !info.Private[w] {
+		t.Error("declared private not honored")
+	}
+	if info.LiveOut[w] {
+		t.Error("private vars are dead at region exit")
+	}
+}
+
+func TestAnalyzeRegionDefaultLiveOutConservative(t *testing.T) {
+	p := ir.NewProgram("t")
+	x := p.AddVar("x", 8)
+	r := buildRegion(p, "r", []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(x, ir.Idx("k")), RHS: ir.C(1)},
+	})
+	info := AnalyzeRegion(p, r, nil)
+	if !info.LiveOut[x] {
+		t.Error("without annotation, referenced vars default to live")
+	}
+}
+
+func TestAnalyzeProgramInterRegionLiveness(t *testing.T) {
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 8)
+	b := p.AddVar("b", 8)
+	r1 := buildRegion(p, "r1", []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(a, ir.Idx("k")), RHS: ir.C(1)},
+	})
+	r2 := buildRegion(p, "r2", []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(b, ir.Idx("k")), RHS: ir.Rd(a, ir.Idx("k"))},
+	})
+	r2.Ann.LiveOut = map[string]bool{"b": true}
+	infos := AnalyzeProgram(p)
+	if !infos[r1].LiveOut[a] {
+		t.Error("a is read by r2, so it is live out of r1")
+	}
+	if !infos[r2].LiveOut[b] || infos[r2].LiveOut[a] {
+		t.Errorf("r2 LiveOut = %v", infos[r2].LiveOut)
+	}
+}
+
+func TestAttrString(t *testing.T) {
+	if NullAttr.String() != "Null" || ReadAttr.String() != "Read" || WriteAttr.String() != "Write" {
+		t.Error("Attr.String broken")
+	}
+}

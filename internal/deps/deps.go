@@ -1,0 +1,549 @@
+// Package deps computes the reference-by-reference may-dependences the
+// paper's analyses consume (§4.2.1: "Data dependences are may-dependences
+// ... analyzed for the region on a reference by reference basis").
+//
+// Dependences are directed by execution order. For loop regions the
+// direction is established per dependence level: region level (cross-
+// segment, i.e. cross-iteration of the region loop), each common inner
+// loop level, and the innermost same-iteration level (textual order). The
+// tests are the classic conservative combination of a dimension-wise
+// interval (Banerjee) test and a GCD test on affine subscripts; any
+// non-affine subscript dimension (e.g. the paper's subscripted subscript
+// K(E)) is assumed to may-alias.
+package deps
+
+import (
+	"fmt"
+	"sort"
+
+	"refidem/internal/cfg"
+	"refidem/internal/ir"
+)
+
+// Kind classifies a dependence by the access types of source and sink.
+type Kind uint8
+
+const (
+	// Flow is write→read (true dependence).
+	Flow Kind = iota
+	// Anti is read→write.
+	Anti
+	// Output is write→write.
+	Output
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Flow:
+		return "flow"
+	case Anti:
+		return "anti"
+	default:
+		return "output"
+	}
+}
+
+// Dep is one directed may-dependence: Src executes before Dst in some
+// sequential execution and they may access the same storage location.
+type Dep struct {
+	Src  *ir.Ref
+	Dst  *ir.Ref
+	Kind Kind
+	// Cross reports a cross-segment dependence (between different segment
+	// instances); intra-segment dependences have Cross == false.
+	Cross bool
+}
+
+func (d Dep) String() string {
+	scope := "intra"
+	if d.Cross {
+		scope = "cross"
+	}
+	return fmt.Sprintf("%s %s: %s -> %s", scope, d.Kind, d.Src, d.Dst)
+}
+
+// Analysis holds the dependences of one region, indexed by endpoint.
+type Analysis struct {
+	Region *ir.Region
+	All    []Dep
+
+	sinks   map[*ir.Ref][]Dep
+	sources map[*ir.Ref][]Dep
+}
+
+// SinksAt returns the dependences whose sink is ref.
+func (a *Analysis) SinksAt(ref *ir.Ref) []Dep { return a.sinks[ref] }
+
+// SourcesAt returns the dependences whose source is ref.
+func (a *Analysis) SourcesAt(ref *ir.Ref) []Dep { return a.sources[ref] }
+
+// IsSink reports whether ref is the sink of any dependence.
+func (a *Analysis) IsSink(ref *ir.Ref) bool { return len(a.sinks[ref]) > 0 }
+
+// IsCrossSink reports whether ref is the sink of a cross-segment
+// dependence (the references Lemma 3 forces to stay speculative).
+func (a *Analysis) IsCrossSink(ref *ir.Ref) bool {
+	for _, d := range a.sinks[ref] {
+		if d.Cross {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCrossDeps reports whether the region carries any cross-segment data
+// dependence, one half of the fully-independent test of Lemma 7.
+func (a *Analysis) HasCrossDeps() bool {
+	for _, d := range a.All {
+		if d.Cross {
+			return true
+		}
+	}
+	return false
+}
+
+// Conservative returns a copy of the analysis in which every dependence
+// is treated as bidirectional (both endpoints become sinks). This models
+// a compiler without execution-order direction information — useful as an
+// ablation: labeling under it is strictly more conservative, so fewer
+// references become idempotent.
+func Conservative(a *Analysis) *Analysis {
+	out := &Analysis{
+		Region:  a.Region,
+		sinks:   make(map[*ir.Ref][]Dep),
+		sources: make(map[*ir.Ref][]Dep),
+	}
+	for _, d := range a.All {
+		out.emit(d.Src, d.Dst, d.Cross)
+		out.emit(d.Dst, d.Src, d.Cross)
+	}
+	return out
+}
+
+// kindOf classifies a source/sink access pair.
+func kindOf(src, dst *ir.Ref) Kind {
+	switch {
+	case src.Access == ir.Write && dst.Access == ir.Read:
+		return Flow
+	case src.Access == ir.Read && dst.Access == ir.Write:
+		return Anti
+	default:
+		return Output
+	}
+}
+
+// Analyze computes the may-dependences of the region. The graph must be
+// cfg.FromRegion(r) (passed in so callers can share it).
+func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
+	a := &Analysis{
+		Region:  r,
+		sinks:   make(map[*ir.Ref][]Dep),
+		sources: make(map[*ir.Ref][]Dep),
+	}
+	refs := r.Refs
+	for i := 0; i < len(refs); i++ {
+		for j := i; j < len(refs); j++ {
+			r1, r2 := refs[i], refs[j]
+			if r1.Var != r2.Var {
+				continue
+			}
+			if r1.Access == ir.Read && r2.Access == ir.Read {
+				continue
+			}
+			if i == j && r1.Access == ir.Read {
+				continue
+			}
+			a.pair(r1, r2, g)
+		}
+	}
+	// Deterministic order for printing and tests.
+	sort.SliceStable(a.All, func(i, j int) bool {
+		x, y := a.All[i], a.All[j]
+		if x.Src.ID != y.Src.ID {
+			return x.Src.ID < y.Src.ID
+		}
+		if x.Dst.ID != y.Dst.ID {
+			return x.Dst.ID < y.Dst.ID
+		}
+		return x.Kind < y.Kind
+	})
+	return a
+}
+
+func (a *Analysis) emit(src, dst *ir.Ref, cross bool) {
+	d := Dep{Src: src, Dst: dst, Kind: kindOf(src, dst), Cross: cross}
+	for _, e := range a.All {
+		if e == d {
+			return
+		}
+	}
+	a.All = append(a.All, d)
+	a.sinks[dst] = append(a.sinks[dst], d)
+	a.sources[src] = append(a.sources[src], d)
+}
+
+// pair tests one unordered reference pair in every direction and level.
+func (a *Analysis) pair(r1, r2 *ir.Ref, g *cfg.Graph) {
+	r := a.Region
+	if r.Kind == ir.CFGRegion {
+		if r1.SegID != r2.SegID {
+			if !g.OnCommonPath(r1.SegID, r2.SegID) {
+				return
+			}
+			src, dst := r1, r2
+			if g.Age(r2.SegID) < g.Age(r1.SegID) {
+				src, dst = r2, r1
+			}
+			if mayAliasIndependent(r, src, dst) {
+				a.emit(src, dst, true)
+			}
+			return
+		}
+		a.intraSegment(r1, r2)
+		return
+	}
+
+	// Loop region. Region level first: iterations are the segments.
+	n := r.InstanceCount()
+	if n >= 2 {
+		if mayAliasRegionLevel(r, r1, r2) {
+			a.emit(r1, r2, true)
+		}
+		if r1 != r2 {
+			if mayAliasRegionLevel(r, r2, r1) {
+				a.emit(r2, r1, true)
+			}
+		}
+	}
+	if r1 != r2 || r1.Access == ir.Write {
+		a.intraSegment(r1, r2)
+	}
+}
+
+// intraSegment emits same-instance dependences between r1 and r2 at each
+// common loop level and at the same-iteration level.
+func (a *Analysis) intraSegment(r1, r2 *ir.Ref) {
+	if r1.SegID != r2.SegID {
+		return
+	}
+	common := commonLoops(r1, r2)
+	// Cross-iteration of each common inner loop.
+	for level := range common {
+		if mayAliasInnerLevel(a.Region, r1, r2, common, level, true) {
+			a.emit(r1, r2, false)
+		}
+		if r1 != r2 && mayAliasInnerLevel(a.Region, r1, r2, common, level, false) {
+			a.emit(r2, r1, false)
+		}
+	}
+	// Same iteration of all common loops: textual order directs the edge.
+	if r1 == r2 {
+		return
+	}
+	if mayAliasSameIteration(a.Region, r1, r2, common) {
+		src, dst := r1, r2
+		if r2.Pos < r1.Pos {
+			src, dst = r2, r1
+		}
+		a.emit(src, dst, false)
+	}
+}
+
+// commonLoops returns the shared enclosing-loop prefix of two references.
+func commonLoops(r1, r2 *ir.Ref) []ir.LoopInfo {
+	var out []ir.LoopInfo
+	for i := 0; i < len(r1.Ctx.Loops) && i < len(r2.Ctx.Loops); i++ {
+		if r1.Ctx.Loops[i].ID != r2.Ctx.Loops[i].ID {
+			break
+		}
+		out = append(out, r1.Ctx.Loops[i])
+	}
+	return out
+}
+
+// --- linear alias testing ---------------------------------------------
+
+// linExpr is c + sum(terms[v] * v) over solver variables.
+type linExpr struct {
+	c     int64
+	terms map[string]int64
+}
+
+func (e linExpr) add(o linExpr, sign int64) linExpr {
+	out := linExpr{c: e.c + sign*o.c, terms: map[string]int64{}}
+	for k, v := range e.terms {
+		out.terms[k] += v
+	}
+	for k, v := range o.terms {
+		out.terms[k] += sign * v
+	}
+	for k, v := range out.terms {
+		if v == 0 {
+			delete(out.terms, k)
+		}
+	}
+	return out
+}
+
+// env maps the program's index-variable names to solver linExprs, plus
+// solver-variable bounds.
+type env struct {
+	subst  map[string]linExpr
+	bounds map[string][2]int64
+}
+
+func newEnv() *env {
+	return &env{subst: map[string]linExpr{}, bounds: map[string][2]int64{}}
+}
+
+// freeVar introduces a solver variable with the given inclusive bounds.
+func (e *env) freeVar(name string, lo, hi int64) linExpr {
+	e.bounds[name] = [2]int64{lo, hi}
+	return linExpr{terms: map[string]int64{name: 1}}
+}
+
+// bind maps a program index name to a solver expression.
+func (e *env) bind(idx string, le linExpr) { e.subst[idx] = le }
+
+// lower converts an affine subscript into a solver linExpr under the
+// substitution. Unbound names (should not happen for validated programs)
+// become fresh unbounded-ish variables, keeping the test conservative.
+func (e *env) lower(a ir.Affine, side string) linExpr {
+	out := linExpr{c: a.Const, terms: map[string]int64{}}
+	for idx, coeff := range a.Coeff {
+		le, ok := e.subst[idx]
+		if !ok {
+			le = e.freeVar("unbound_"+side+"_"+idx, -1<<30, 1<<30)
+			e.bind(idx, le)
+		}
+		out.c += coeff * le.c
+		for v, c := range le.terms {
+			out.terms[v] += coeff * c
+		}
+	}
+	for k, v := range out.terms {
+		if v == 0 {
+			delete(out.terms, k)
+		}
+	}
+	return out
+}
+
+// mayZero applies the interval and GCD tests; it returns false only when
+// the equation expr == 0 provably has no solution within bounds.
+func mayZero(e linExpr, bounds map[string][2]int64) bool {
+	lo, hi := e.c, e.c
+	for v, c := range e.terms {
+		b := bounds[v]
+		if c > 0 {
+			lo += c * b[0]
+			hi += c * b[1]
+		} else {
+			lo += c * b[1]
+			hi += c * b[0]
+		}
+	}
+	if lo > 0 || hi < 0 {
+		return false
+	}
+	var g int64
+	for _, c := range e.terms {
+		g = gcd(g, abs64(c))
+	}
+	if g != 0 && e.c%g != 0 {
+		return false
+	}
+	return true
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// loopRange returns the min and max values the loop variable takes.
+func loopRange(l ir.LoopInfo) (int64, int64) {
+	trips := l.Trips()
+	if trips == 0 {
+		return int64(l.From), int64(l.From)
+	}
+	last := int64(l.From) + int64(trips-1)*int64(l.Step)
+	lo, hi := int64(l.From), last
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo, hi
+}
+
+// bindSideLoops introduces independent solver variables for every loop
+// enclosing the reference, skipping the first `skip` loops (already bound
+// as shared/level variables).
+func bindSideLoops(e *env, ref *ir.Ref, side string, skip int) {
+	for i := skip; i < len(ref.Ctx.Loops); i++ {
+		l := ref.Ctx.Loops[i]
+		lo, hi := loopRange(l)
+		e.bind(l.Index, e.freeVar(fmt.Sprintf("%s_%d_%s", side, i, l.Index), lo, hi))
+	}
+}
+
+// testDims checks every affine dimension pair for simultaneous equality.
+// srcEnv and dstEnv carry the per-side substitutions; shared bounds are
+// merged. Non-affine dimensions cannot refute.
+func testDims(src, dst *ir.Ref, srcEnv, dstEnv *env) bool {
+	for dim := 0; dim < len(src.Subs); dim++ {
+		sa, sOK := ir.AffineOf(src.Subs[dim])
+		da, dOK := ir.AffineOf(dst.Subs[dim])
+		if !sOK || !dOK {
+			continue // non-affine: cannot refute this dimension
+		}
+		diff := srcEnv.lower(sa, "s").add(dstEnv.lower(da, "d"), -1)
+		// lower may add fresh unbound vars; gather bounds afterwards.
+		bounds := map[string][2]int64{}
+		for k, v := range srcEnv.bounds {
+			bounds[k] = v
+		}
+		for k, v := range dstEnv.bounds {
+			bounds[k] = v
+		}
+		if !mayZero(diff, bounds) {
+			return false
+		}
+	}
+	return true
+}
+
+// mayAliasRegionLevel tests whether src (in an older iteration) and dst
+// (in a strictly younger iteration) of a loop region may access the same
+// location. Iterations are numbered t = 0..n-1 in execution order, with
+// index value From + Step*t; the younger side is shifted by d >= 1.
+func mayAliasRegionLevel(r *ir.Region, src, dst *ir.Ref) bool {
+	n := int64(r.InstanceCount())
+	if n < 2 {
+		return false
+	}
+	srcEnv, dstEnv := newEnv(), newEnv()
+	ts := srcEnv.freeVar("t_s", 0, n-2)
+	d := srcEnv.freeVar("t_shift", 1, n-1)
+	// index_src = From + Step*t_s ; index_dst = From + Step*(t_s + d)
+	idxSrc := linExpr{c: int64(r.From), terms: map[string]int64{}}
+	for v, c := range ts.terms {
+		idxSrc.terms[v] = c * int64(r.Step)
+	}
+	idxDst := linExpr{c: int64(r.From), terms: map[string]int64{}}
+	for v, c := range ts.terms {
+		idxDst.terms[v] += c * int64(r.Step)
+	}
+	for v, c := range d.terms {
+		idxDst.terms[v] += c * int64(r.Step)
+	}
+	srcEnv.bind(r.Index, idxSrc)
+	// The dst env shares the solver variables of ts and d.
+	for k, v := range srcEnv.bounds {
+		dstEnv.bounds[k] = v
+	}
+	dstEnv.bind(r.Index, idxDst)
+	bindSideLoops(srcEnv, src, "s", 0)
+	bindSideLoops(dstEnv, dst, "d", 0)
+	return testDims(src, dst, srcEnv, dstEnv)
+}
+
+// mayAliasInnerLevel tests a cross-iteration dependence of the common
+// inner loop at the given level, with all outer common loops at equal
+// iterations. srcEarlier selects the direction: when true, r1 is the
+// source executing in an earlier iteration of the level loop.
+func mayAliasInnerLevel(r *ir.Region, r1, r2 *ir.Ref, common []ir.LoopInfo, level int, srcEarlier bool) bool {
+	src, dst := r1, r2
+	if !srcEarlier {
+		src, dst = r2, r1
+	}
+	srcEnv, dstEnv := newEnv(), newEnv()
+	bindRegionIndexShared(r, srcEnv, dstEnv)
+	// Outer common loops: shared variables.
+	for i := 0; i < level; i++ {
+		l := common[i]
+		lo, hi := loopRange(l)
+		v := srcEnv.freeVar(fmt.Sprintf("c_%d_%s", i, l.Index), lo, hi)
+		srcEnv.bind(l.Index, v)
+		dstEnv.bounds[fmt.Sprintf("c_%d_%s", i, l.Index)] = [2]int64{lo, hi}
+		dstEnv.bind(l.Index, v)
+	}
+	// Level loop: dst iterates later: value_dst = value_src + Step*d, d>=1.
+	l := common[level]
+	lo, hi := loopRange(l)
+	trips := int64(l.Trips())
+	if trips < 2 {
+		return false
+	}
+	base := srcEnv.freeVar(fmt.Sprintf("L%d_%s", level, l.Index), lo, hi)
+	shift := srcEnv.freeVar(fmt.Sprintf("L%d_d", level), 1, trips-1)
+	srcEnv.bind(l.Index, base)
+	for k, v := range srcEnv.bounds {
+		dstEnv.bounds[k] = v
+	}
+	later := linExpr{c: 0, terms: map[string]int64{}}
+	for v, c := range base.terms {
+		later.terms[v] += c
+	}
+	for v, c := range shift.terms {
+		later.terms[v] += c * int64(l.Step)
+	}
+	dstEnv.bind(l.Index, later)
+	// Remaining loops per side are independent.
+	bindSideLoops(srcEnv, src, "s", level+1)
+	bindSideLoops(dstEnv, dst, "d", level+1)
+	return testDims(src, dst, srcEnv, dstEnv)
+}
+
+// mayAliasSameIteration tests equality with all common loops at the same
+// iteration and remaining loops independent.
+func mayAliasSameIteration(r *ir.Region, r1, r2 *ir.Ref, common []ir.LoopInfo) bool {
+	srcEnv, dstEnv := newEnv(), newEnv()
+	bindRegionIndexShared(r, srcEnv, dstEnv)
+	for i, l := range common {
+		lo, hi := loopRange(l)
+		name := fmt.Sprintf("c_%d_%s", i, l.Index)
+		v := srcEnv.freeVar(name, lo, hi)
+		srcEnv.bind(l.Index, v)
+		dstEnv.bounds[name] = [2]int64{lo, hi}
+		dstEnv.bind(l.Index, v)
+	}
+	bindSideLoops(srcEnv, r1, "s", len(common))
+	bindSideLoops(dstEnv, r2, "d", len(common))
+	return testDims(r1, r2, srcEnv, dstEnv)
+}
+
+// mayAliasIndependent tests equality with every loop variable independent
+// on each side (used for cross-segment pairs in CFG regions).
+func mayAliasIndependent(r *ir.Region, src, dst *ir.Ref) bool {
+	srcEnv, dstEnv := newEnv(), newEnv()
+	bindSideLoops(srcEnv, src, "s", 0)
+	bindSideLoops(dstEnv, dst, "d", 0)
+	return testDims(src, dst, srcEnv, dstEnv)
+}
+
+// bindRegionIndexShared binds the region index of a loop region to one
+// shared solver variable on both sides (intra-segment tests happen within
+// a single iteration of the region loop).
+func bindRegionIndexShared(r *ir.Region, srcEnv, dstEnv *env) {
+	if r.Kind != ir.LoopRegion {
+		return
+	}
+	n := int64(r.InstanceCount())
+	t := srcEnv.freeVar("t_shared", 0, n-1)
+	idx := linExpr{c: int64(r.From), terms: map[string]int64{}}
+	for v, c := range t.terms {
+		idx.terms[v] = c * int64(r.Step)
+	}
+	srcEnv.bind(r.Index, idx)
+	dstEnv.bounds["t_shared"] = srcEnv.bounds["t_shared"]
+	dstEnv.bind(r.Index, idx)
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"fmt"
+
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+)
+
+// LiveOutMismatch compares the final values of the program's live-out
+// variables between two runs, returning a descriptive error on the first
+// difference. Definition 3 of the paper defines correct execution as "all
+// live program variables in the non-speculative storage have the same
+// value as in a sequential execution", which is exactly this check; the
+// test suite uses it to validate Lemma 1 (HOSE vs sequential) and Lemma 2
+// (CASE vs sequential).
+func LiveOutMismatch(p *ir.Program, labelings map[*ir.Region]*idem.Result, a, b *Result) error {
+	if len(p.Regions) == 0 {
+		return nil
+	}
+	last := p.Regions[len(p.Regions)-1]
+	lab := labelings[last]
+	if lab == nil {
+		return fmt.Errorf("engine: no labeling for final region")
+	}
+	for _, v := range p.Vars {
+		if !lab.Info.LiveOut[v] {
+			continue
+		}
+		av := VarValues(a.Memory, a.Layout, v)
+		bv := VarValues(b.Memory, b.Layout, v)
+		for i := range av {
+			if av[i] != bv[i] {
+				return fmt.Errorf("live-out %s[%d]: %v run has %d, %v run has %d",
+					v.Name, i, a.Mode, av[i], b.Mode, bv[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Package engine executes programs under the paper's three execution
+// models: sequential (the correctness ground truth and the uniprocessor
+// baseline for speedups), HOSE (hardware-only speculative execution,
+// Definition 2) and CASE (compiler-assisted speculative execution,
+// Definition 4).
+//
+// The speculative engine is a deterministic discrete-event simulator of a
+// Multiplex-style chip multiprocessor: P processors, one in-flight segment
+// per processor, per-segment speculative buffers, an L1/L2/DRAM hierarchy
+// as non-speculative storage, in-order segment commit, flow- and
+// control-violation detection with rollback, and speculative-storage
+// overflow that stalls a segment until it becomes the oldest (which
+// serializes execution — the bottleneck the paper attacks). Speculation is
+// simulated for real: segments execute eagerly on stale values, write
+// temporarily incorrect results, get squashed and re-execute, so the final
+// memory state genuinely validates Lemmas 1 and 2 against the sequential
+// engine.
+package engine
+
+import (
+	"io"
+
+	"refidem/internal/specmem"
+)
+
+// Mode selects the execution model.
+type Mode uint8
+
+const (
+	// Sequential executes the program serially on one processor; all
+	// references access the non-speculative hierarchy.
+	Sequential Mode = iota
+	// HOSE is hardware-only speculative execution: every reference is
+	// tracked in speculative storage (Definition 2).
+	HOSE
+	// CASE is compiler-assisted speculative execution: references labeled
+	// idempotent bypass speculative storage (Definition 4).
+	CASE
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case HOSE:
+		return "HOSE"
+	default:
+		return "CASE"
+	}
+}
+
+// Config carries the machine parameters. The defaults model a 4-processor
+// chip multiprocessor with kilobyte-scale speculative storage, in the
+// spirit of the paper's Multiplex evaluation.
+type Config struct {
+	// Processors is the number of processors (and the size of the
+	// in-flight segment window).
+	Processors int
+	// SpecCapacity is the per-segment speculative storage capacity in
+	// entries (tracked locations). The paper's systems use small (KB)
+	// structures; 128 eight-byte entries is 1 KB of data.
+	SpecCapacity int
+	// SpecSets organizes the speculative storage set-associatively with
+	// SpecSets address-indexed sets of SpecCapacity/SpecSets ways each
+	// (like the speculative versioning cache); a set conflict overflows
+	// even when total capacity remains. 0 means fully associative.
+	SpecSets int
+	// Hier configures the non-speculative memory hierarchy.
+	Hier specmem.HierarchyConfig
+	// SpecLatency is the access latency of speculative storage.
+	SpecLatency int64
+	// CommitPerEntry is the commit cost per written entry.
+	CommitPerEntry int64
+	// RollbackPenalty is charged to a squashed segment before restart.
+	RollbackPenalty int64
+	// DispatchCost is charged when a segment is assigned to a processor.
+	DispatchCost int64
+	// StackSetupCost is charged per segment that uses privatized
+	// variables (the per-segment private stack setup the paper observes
+	// in the private category, §5.1).
+	StackSetupCost int64
+	// OpCost is the cost of one non-memory instruction.
+	OpCost int64
+	// Seed fills the initial memory image deterministically.
+	Seed int64
+	// MaxEvents bounds the simulation as a livelock guard.
+	MaxEvents int64
+	// Trace, when non-nil, receives a line per engine event (spawn,
+	// violation, squash, stall, commit) — a debugging aid; it does not
+	// affect timing.
+	Trace io.Writer
+}
+
+// DefaultConfig returns the baseline machine used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Processors:      4,
+		SpecCapacity:    128,
+		Hier:            specmem.DefaultHierarchy(),
+		SpecLatency:     1,
+		CommitPerEntry:  2,
+		RollbackPenalty: 12,
+		DispatchCost:    4,
+		StackSetupCost:  16,
+		OpCost:          1,
+		Seed:            0x9E3779B9,
+		MaxEvents:       500_000_000,
+	}
+}
+
+// Stats aggregates what happened during a run.
+type Stats struct {
+	// DynRefs counts dynamic references in retired (final) executions.
+	DynRefs int64
+	// IdemRefs counts retired references that bypassed speculative
+	// storage (CASE only).
+	IdemRefs int64
+	// RefsByCategory counts retired references per idempotency category
+	// (indexed by idem.Category converted to int).
+	RefsByCategory [8]int64
+	// FlowViolations counts data-dependence violations detected.
+	FlowViolations int64
+	// ControlViolations counts mispredicted segment successors.
+	ControlViolations int64
+	// SquashedSegments counts segment executions thrown away.
+	SquashedSegments int64
+	// Overflows counts speculative storage overflow events.
+	Overflows int64
+	// OverflowStallCycles accumulates cycles segments spent stalled on
+	// overflow.
+	OverflowStallCycles int64
+	// CommittedEntries counts entries moved to non-speculative storage.
+	CommittedEntries int64
+	// PeakSpecOccupancy is the maximum entries observed in any segment
+	// buffer.
+	PeakSpecOccupancy int
+	// SegmentsRetired counts committed segment executions.
+	SegmentsRetired int64
+	// Instructions counts non-memory instructions in retired executions.
+	Instructions int64
+	// BusyCycles accumulates, over all processors, the cycles spent
+	// executing segment instances (including squashed work); dividing by
+	// Processors*Cycles gives machine utilization.
+	BusyCycles int64
+}
+
+// Result of a run.
+type Result struct {
+	Mode   Mode
+	Cycles int64
+	Memory []int64
+	Layout *Layout
+	Stats  Stats
+}

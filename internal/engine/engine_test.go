@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"testing"
+
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/workloads"
+)
+
+// runAll labels the program and executes it under all three models.
+func runAll(t *testing.T, p *ir.Program, cfg Config) (map[*ir.Region]*idem.Result, *Result, *Result, *Result) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	labs := idem.LabelProgram(p)
+	for r, res := range labs {
+		if errs := res.CheckTheorems(); len(errs) > 0 {
+			t.Fatalf("region %s: theorem check: %v", r.Name, errs)
+		}
+	}
+	seq, err := RunSequential(p, cfg)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	hose, err := RunSpeculative(p, labs, cfg, HOSE)
+	if err != nil {
+		t.Fatalf("HOSE: %v", err)
+	}
+	caseR, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatalf("CASE: %v", err)
+	}
+	return labs, seq, hose, caseR
+}
+
+// checkCorrect validates Lemma 1 and Lemma 2 for the program.
+func checkCorrect(t *testing.T, p *ir.Program, labs map[*ir.Region]*idem.Result, seq, hose, caseR *Result) {
+	t.Helper()
+	if err := LiveOutMismatch(p, labs, seq, hose); err != nil {
+		t.Errorf("Lemma 1 violated (HOSE != sequential): %v", err)
+	}
+	if err := LiveOutMismatch(p, labs, seq, caseR); err != nil {
+		t.Errorf("Lemma 2 violated (CASE != sequential): %v", err)
+	}
+}
+
+func TestIntroExampleCorrectness(t *testing.T) {
+	p := workloads.IntroExample()
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+}
+
+func TestFigure2Correctness(t *testing.T) {
+	p := workloads.Figure2()
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+}
+
+func TestFigure3Correctness(t *testing.T) {
+	p := workloads.Figure3()
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+}
+
+func TestButsCorrectness(t *testing.T) {
+	p := workloads.ButsDO1(8)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	if seq.Stats.DynRefs == 0 || hose.Stats.DynRefs == 0 {
+		t.Error("no references executed")
+	}
+}
+
+// chain builds x[k] = x[k-1] + 1 — a serial cross-iteration flow chain
+// that must trigger dependence violations under eager speculation.
+func chain(n int) *ir.Program {
+	p := ir.NewProgram("chain")
+	x := p.AddVar("x", n+2)
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 1, To: n, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(x, ir.Idx("k")),
+				RHS: ir.AddE(ir.Rd(x, ir.SubE(ir.Idx("k"), ir.C(1))), ir.C(1))},
+		}}}}
+	r.Ann.LiveOut = map[string]bool{"x": true}
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}
+
+func TestFlowViolationsDetectedAndCorrected(t *testing.T) {
+	p := chain(32)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	if hose.Stats.FlowViolations == 0 {
+		t.Error("a serial dependence chain must cause flow violations under HOSE")
+	}
+	if hose.Stats.SquashedSegments == 0 {
+		t.Error("violations must squash segments")
+	}
+	// The final value proves all N increments happened in order.
+	x := p.Var("x")
+	vals := VarValues(seq.Memory, seq.Layout, x)
+	base := vals[0]
+	if vals[32] != base+32 {
+		t.Errorf("x[32] = %d, want %d", vals[32], base+32)
+	}
+}
+
+func TestEarlyExitControlViolation(t *testing.T) {
+	// The loop writes a[k] and exits at k == 6; speculation beyond the
+	// exit must be squashed and the final state must match sequential.
+	p := ir.NewProgram("exit")
+	a := p.AddVar("a", 40)
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: 31, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(a, ir.Idx("k")), RHS: ir.AddE(ir.Idx("k"), ir.C(100))},
+			&ir.ExitRegion{Cond: ir.Op(ir.Ge, ir.Idx("k"), ir.C(6))},
+		}}}}
+	r.Ann.LiveOut = map[string]bool{"a": true}
+	r.Finalize()
+	p.AddRegion(r)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	if hose.Stats.ControlViolations == 0 {
+		t.Error("early exit must register a control violation under speculation")
+	}
+	// Cells beyond the exit keep their initial values.
+	sv := VarValues(seq.Memory, seq.Layout, a)
+	hv := VarValues(hose.Memory, hose.Layout, a)
+	for i := 7; i < 32; i++ {
+		if hv[i] != sv[i] {
+			t.Errorf("a[%d] differs after early exit: %d vs %d", i, hv[i], sv[i])
+		}
+	}
+}
+
+func TestCFGBranchMisprediction(t *testing.T) {
+	// The branch takes the second successor (condition is 0), while the
+	// engine predicts the first: a control violation must occur and the
+	// result must still match sequential execution.
+	p := ir.NewProgram("branch")
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	segs := []*ir.Segment{
+		{ID: 0, Name: "head", Succs: []int{1, 2}, Branch: ir.Rd(x), Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(x), RHS: ir.C(0)},
+		}},
+		{ID: 1, Name: "taken", Succs: []int{3}, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(y), RHS: ir.C(111)},
+		}},
+		{ID: 2, Name: "fallthrough", Succs: []int{3}, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(y), RHS: ir.C(222)},
+		}},
+		{ID: 3, Name: "tail", Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(x), RHS: ir.AddE(ir.Rd(y), ir.C(1))},
+		}},
+	}
+	r := &ir.Region{Name: "r", Kind: ir.CFGRegion, Segments: segs}
+	r.Ann.LiveOut = map[string]bool{"x": true, "y": true}
+	r.Finalize()
+	p.AddRegion(r)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	if hose.Stats.ControlViolations == 0 {
+		t.Error("mispredicted branch must register a control violation")
+	}
+	y2 := VarValues(seq.Memory, seq.Layout, y)
+	if y2[0] != 222 {
+		t.Errorf("sequential y = %d, want 222 (branch value is 0)", y2[0])
+	}
+}
+
+func TestOverflowStallsAndCASERelief(t *testing.T) {
+	// A fully-independent loop with a working set far beyond the
+	// speculative capacity: HOSE overflows and serializes; CASE labels
+	// everything idempotent and never touches speculative storage.
+	p := ir.NewProgram("overflow")
+	n := 16
+	a := p.AddVar("a", n*40)
+	b := p.AddVar("b", n*40)
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: n - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.For{Index: "j", From: 0, To: 39, Step: 1, Body: []ir.Stmt{
+				&ir.Assign{LHS: ir.Wr(a, ir.AddE(ir.MulE(ir.Idx("k"), ir.C(40)), ir.Idx("j"))),
+					RHS: ir.AddE(ir.Rd(b, ir.AddE(ir.MulE(ir.Idx("k"), ir.C(40)), ir.Idx("j"))), ir.C(1))},
+			}},
+		}}}}
+	r.Ann.LiveOut = map[string]bool{"a": true}
+	r.Finalize()
+	p.AddRegion(r)
+
+	cfg := DefaultConfig()
+	cfg.SpecCapacity = 16 // each iteration touches 80 locations
+	labs, seq, hose, caseR := runAll(t, p, cfg)
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	if hose.Stats.Overflows == 0 || hose.Stats.OverflowStallCycles == 0 {
+		t.Errorf("HOSE should overflow: %+v", hose.Stats)
+	}
+	if caseR.Stats.Overflows != 0 {
+		t.Errorf("fully-independent CASE run should never overflow, got %d", caseR.Stats.Overflows)
+	}
+	if caseR.Stats.PeakSpecOccupancy != 0 {
+		t.Errorf("CASE peak occupancy = %d, want 0", caseR.Stats.PeakSpecOccupancy)
+	}
+	if caseR.Cycles >= hose.Cycles {
+		t.Errorf("CASE (%d cycles) should beat overflowing HOSE (%d cycles)", caseR.Cycles, hose.Cycles)
+	}
+	if seq.Cycles <= caseR.Cycles {
+		t.Errorf("4-processor CASE (%d) should beat sequential (%d)", caseR.Cycles, seq.Cycles)
+	}
+}
+
+func TestCASEOccupancyNeverExceedsHOSE(t *testing.T) {
+	for _, mk := range []func() *ir.Program{
+		workloads.IntroExample, workloads.Figure2, workloads.Figure3,
+		func() *ir.Program { return workloads.ButsDO1(8) },
+		func() *ir.Program { return chain(16) },
+	} {
+		p := mk()
+		_, _, hose, caseR := runAll(t, p, DefaultConfig())
+		if caseR.Stats.PeakSpecOccupancy > hose.Stats.PeakSpecOccupancy {
+			t.Errorf("%s: CASE peak %d > HOSE peak %d", p.Name,
+				caseR.Stats.PeakSpecOccupancy, hose.Stats.PeakSpecOccupancy)
+		}
+	}
+}
+
+func TestMislabelingBreaksExecution(t *testing.T) {
+	// Necessity direction of Lemma 2: forcibly mislabeling the sinks of
+	// the serial chain as idempotent lets stale values escape to
+	// non-speculative storage, and the final state diverges from
+	// sequential. This demonstrates the labeling conditions are not
+	// vacuous: the engine really does bypass dependence tracking for
+	// idempotent references.
+	p := chain(32)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	labs := idem.LabelProgram(p)
+	r := p.Regions[0]
+	for _, ref := range r.Refs {
+		labs[r].Labels[ref] = idem.Idempotent // WRONG on purpose
+	}
+	cfg := DefaultConfig()
+	seq, err := RunSequential(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caseR, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LiveOutMismatch(p, labs, seq, caseR); err == nil {
+		t.Error("mislabeled serial chain still matched sequential; the engine is not actually bypassing dependence tracking")
+	}
+}
+
+func TestSpeculativeSpeedupOnParallelLoop(t *testing.T) {
+	// A wide independent loop should show real speedup on 4 processors
+	// under both HOSE (capacity fits) and CASE.
+	p := ir.NewProgram("parallel")
+	n := 64
+	a := p.AddVar("a", n)
+	b := p.AddVar("b", n)
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: n - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.For{Index: "j", From: 0, To: 7, Step: 1, Body: []ir.Stmt{
+				&ir.Assign{LHS: ir.Wr(a, ir.Idx("k")),
+					RHS: ir.AddE(ir.Rd(a, ir.Idx("k")), ir.Rd(b, ir.Idx("k")))},
+			}},
+		}}}}
+	r.Ann.LiveOut = map[string]bool{"a": true}
+	r.Finalize()
+	p.AddRegion(r)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	for _, res := range []*Result{hose, caseR} {
+		speedup := float64(seq.Cycles) / float64(res.Cycles)
+		if speedup < 1.5 {
+			t.Errorf("%v speedup = %.2f, want > 1.5", res.Mode, speedup)
+		}
+	}
+}
+
+func TestMultiRegionExecution(t *testing.T) {
+	// Region 1 produces, region 2 consumes: memory must carry across.
+	p := ir.NewProgram("tworegions")
+	a := p.AddVar("a", 16)
+	b := p.AddVar("b", 16)
+	r1 := &ir.Region{Name: "r1", Kind: ir.LoopRegion, Index: "k", From: 0, To: 15, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(a, ir.Idx("k")), RHS: ir.MulE(ir.Idx("k"), ir.C(3))},
+		}}}}
+	r1.Finalize()
+	p.AddRegion(r1)
+	r2 := &ir.Region{Name: "r2", Kind: ir.LoopRegion, Index: "k", From: 0, To: 15, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(b, ir.Idx("k")), RHS: ir.AddE(ir.Rd(a, ir.Idx("k")), ir.C(1))},
+		}}}}
+	r2.Ann.LiveOut = map[string]bool{"b": true}
+	r2.Finalize()
+	p.AddRegion(r2)
+	labs, seq, hose, caseR := runAll(t, p, DefaultConfig())
+	checkCorrect(t, p, labs, seq, hose, caseR)
+	bv := VarValues(caseR.Memory, caseR.Layout, b)
+	for i := 0; i < 16; i++ {
+		if bv[i] != int64(i*3+1) {
+			t.Errorf("b[%d] = %d, want %d", i, bv[i], i*3+1)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := workloads.ButsDO1(8)
+	labs := idem.LabelProgram(p)
+	cfg := DefaultConfig()
+	a, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Errorf("non-deterministic simulation: %v vs %v", a.Stats, b.Stats)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sequential.String() != "sequential" || HOSE.String() != "HOSE" || CASE.String() != "CASE" {
+		t.Error("Mode.String broken")
+	}
+}

@@ -1,0 +1,603 @@
+package engine
+
+import (
+	"fmt"
+
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/specmem"
+	"refidem/internal/vm"
+)
+
+// instState is the lifecycle of one segment instance.
+type instState uint8
+
+const (
+	// stRunning: executing (or ready to execute) on its processor.
+	stRunning instState = iota
+	// stStalled: blocked on speculative storage overflow until oldest.
+	stStalled
+	// stDone: finished, waiting to become oldest and commit.
+	stDone
+	// stRetired: committed.
+	stRetired
+)
+
+// unknownNext marks an instance whose successor is not yet known; exitNext
+// marks the region exit.
+const (
+	unknownNext = -2
+	exitNext    = -1
+)
+
+// refTally accumulates per-execution reference counts; it is discarded on
+// squash and flushed into Stats at retirement, so the reported fractions
+// describe final executions only (matching the paper's measurements).
+type refTally struct {
+	total  int64
+	idem   int64
+	byCat  [8]int64
+	instrs int64
+}
+
+// instance is one speculative segment execution (one loop iteration or one
+// CFG segment).
+type instance struct {
+	age    int
+	seg    *ir.Segment
+	idxVal int64
+	m      *vm.Machine
+	buf    *specmem.Buffer
+	proc   int
+	state  instState
+	clock  int64
+
+	doneTime   int64
+	exitReq    bool
+	actualNext int
+	pendingEv  *vm.Event
+	stallStart int64
+	tally      refTally
+}
+
+// RunSpeculative executes the program under HOSE or CASE. labelings must
+// come from idem.LabelProgram on the same program: CASE uses the labels to
+// route references, and both modes use the private sets to address the
+// per-segment private stacks of the privatized program.
+func RunSpeculative(p *ir.Program, labelings map[*ir.Region]*idem.Result, cfg Config, mode Mode) (*Result, error) {
+	if mode != HOSE && mode != CASE {
+		return nil, fmt.Errorf("engine: RunSpeculative wants HOSE or CASE, got %v", mode)
+	}
+	if cfg.Processors < 1 {
+		return nil, fmt.Errorf("engine: need at least one processor")
+	}
+	layout := NewLayout(p, labelings, cfg.Processors)
+	mem := NewMemory(layout, cfg.Seed)
+	hier := specmem.NewHierarchy(cfg.Processors, cfg.Hier)
+	res := &Result{Mode: mode, Layout: layout, Memory: mem}
+
+	var now int64
+	var events int64
+	for _, region := range p.Regions {
+		lab := labelings[region]
+		if lab == nil {
+			return nil, fmt.Errorf("engine: no labeling for region %q", region.Name)
+		}
+		run := &specRunner{
+			cfg: &cfg, mode: mode, r: region, lab: lab,
+			layout: layout, mem: mem, hier: hier, stats: &res.Stats,
+			codes: compileRegion(region), iters: region.IndexValues(),
+			events: &events,
+		}
+		end, err := run.run(now)
+		if err != nil {
+			return nil, fmt.Errorf("engine: region %q: %w", region.Name, err)
+		}
+		now = end
+	}
+	res.Cycles = now
+	return res, nil
+}
+
+// specRunner executes one region speculatively.
+type specRunner struct {
+	cfg    *Config
+	mode   Mode
+	r      *ir.Region
+	lab    *idem.Result
+	layout *Layout
+	mem    []int64
+	hier   *specmem.Hierarchy
+	stats  *Stats
+	codes  map[int]*vm.Code
+	iters  []int64
+	events *int64
+
+	insts      []*instance
+	oldest     int
+	stopSpawn  bool
+	procFree   []int64
+	procInst   []*instance
+	commitFree int64
+
+	segPrivate map[int]bool
+}
+
+func (sr *specRunner) run(start int64) (int64, error) {
+	sr.procFree = make([]int64, sr.cfg.Processors)
+	sr.procInst = make([]*instance, sr.cfg.Processors)
+	for i := range sr.procFree {
+		sr.procFree[i] = start
+	}
+	sr.commitFree = start
+	sr.segPrivate = make(map[int]bool, len(sr.r.Segments))
+	for _, seg := range sr.r.Segments {
+		sr.segPrivate[seg.ID] = sr.segmentUsesPrivate(seg)
+	}
+	sr.spawnAll()
+	for {
+		inst := sr.pick()
+		if inst == nil {
+			if sr.oldest == len(sr.insts) && sr.stopSpawn {
+				break
+			}
+			return 0, fmt.Errorf("no runnable instance (oldest=%d insts=%d stop=%v)", sr.oldest, len(sr.insts), sr.stopSpawn)
+		}
+		*sr.events++
+		if *sr.events > sr.cfg.MaxEvents {
+			return 0, fmt.Errorf("exceeded %d events (livelock?)", sr.cfg.MaxEvents)
+		}
+		sr.advance(inst)
+	}
+	end := sr.commitFree
+	if end < start {
+		end = start
+	}
+	return end, nil
+}
+
+// pick returns the running instance with the smallest clock (ties to the
+// oldest), or nil.
+func (sr *specRunner) pick() *instance {
+	var best *instance
+	for _, inst := range sr.insts[sr.oldest:] {
+		if inst.state != stRunning {
+			continue
+		}
+		if best == nil || inst.clock < best.clock {
+			best = inst
+		}
+	}
+	return best
+}
+
+// segmentUsesPrivate reports whether a segment references any privatized
+// variable (such segments pay the stack setup cost).
+func (sr *specRunner) segmentUsesPrivate(seg *ir.Segment) bool {
+	for _, ref := range sr.r.SegRefs(seg.ID) {
+		if sr.lab.Info.Private[ref.Var] {
+			return true
+		}
+	}
+	return false
+}
+
+// nextIdentity determines the segment the next spawned instance should
+// execute: the actual successor when the predecessor has completed, the
+// statically predicted successor (first CFG edge / next loop iteration)
+// otherwise. It returns exitNext when the region is known or predicted to
+// end.
+func (sr *specRunner) nextIdentity() int {
+	age := len(sr.insts)
+	if sr.r.Kind == ir.LoopRegion {
+		if age >= len(sr.iters) {
+			return exitNext
+		}
+		if age > 0 {
+			prev := sr.insts[age-1]
+			if (prev.state == stDone || prev.state == stRetired) && prev.actualNext == exitNext {
+				return exitNext
+			}
+		}
+		return sr.r.Segments[0].ID
+	}
+	if age == 0 {
+		return sr.r.Segments[0].ID
+	}
+	prev := sr.insts[age-1]
+	if prev.state == stDone || prev.state == stRetired {
+		return prev.actualNext
+	}
+	if len(prev.seg.Succs) == 0 {
+		return exitNext
+	}
+	return prev.seg.Succs[0] // static prediction: first edge
+}
+
+// spawnAll creates instances for free processors, oldest first.
+func (sr *specRunner) spawnAll() {
+	for !sr.stopSpawn {
+		segID := sr.nextIdentity()
+		if segID == exitNext {
+			sr.stopSpawn = true
+			return
+		}
+		proc := -1
+		for p := range sr.procInst {
+			if sr.procInst[p] != nil {
+				continue
+			}
+			if proc == -1 || sr.procFree[p] < sr.procFree[proc] {
+				proc = p
+			}
+		}
+		if proc == -1 {
+			return
+		}
+		age := len(sr.insts)
+		var idxVal int64
+		if sr.r.Kind == ir.LoopRegion {
+			idxVal = sr.iters[age]
+		}
+		inst := &instance{
+			age: age, seg: sr.r.Seg(segID), idxVal: idxVal,
+			m:          vm.NewMachine(sr.codes[segID], idxVal),
+			buf:        sr.newBuffer(),
+			proc:       proc,
+			state:      stRunning,
+			actualNext: unknownNext,
+		}
+		inst.clock = sr.procFree[proc] + sr.cfg.DispatchCost
+		if sr.segPrivate[segID] {
+			inst.clock += sr.cfg.StackSetupCost
+		}
+		sr.insts = append(sr.insts, inst)
+		sr.procInst[proc] = inst
+	}
+}
+
+// newBuffer builds one segment's speculative storage per the configured
+// organization.
+func (sr *specRunner) newBuffer() *specmem.Buffer {
+	if sr.cfg.SpecSets > 1 {
+		ways := sr.cfg.SpecCapacity / sr.cfg.SpecSets
+		if ways < 1 {
+			ways = 1
+		}
+		return specmem.NewSetAssocBuffer(sr.cfg.SpecSets, ways)
+	}
+	return specmem.NewBuffer(sr.cfg.SpecCapacity)
+}
+
+// advance processes one event of the instance.
+func (sr *specRunner) advance(inst *instance) {
+	before := inst.clock
+	defer func() {
+		if inst.clock > before {
+			sr.stats.BusyCycles += inst.clock - before
+		}
+	}()
+	var ev vm.Event
+	if inst.pendingEv != nil {
+		ev = *inst.pendingEv
+		inst.pendingEv = nil
+	} else {
+		var ops int
+		ev, ops = inst.m.Step()
+		inst.clock += int64(ops) * sr.cfg.OpCost
+		inst.tally.instrs += int64(ops)
+	}
+	switch ev.Kind {
+	case vm.EvDone:
+		sr.complete(inst)
+	case vm.EvLoad:
+		sr.doLoad(inst, ev)
+	case vm.EvStore:
+		sr.doStore(inst, ev)
+	}
+}
+
+// addrOf resolves a reference instance to a flat address, routing
+// privatized variables to the processor's private stack frame.
+func (sr *specRunner) addrOf(inst *instance, ref *ir.Ref, subs []int64) int64 {
+	priv := sr.lab.Info.Private[ref.Var]
+	return sr.layout.Addr(ref.Var, subs, priv, inst.proc)
+}
+
+// isIdem reports whether the reference bypasses speculative storage.
+func (sr *specRunner) isIdem(ref *ir.Ref) bool {
+	return sr.mode == CASE && sr.lab.Labels[ref] == idem.Idempotent
+}
+
+func (sr *specRunner) tally(inst *instance, ref *ir.Ref) {
+	inst.tally.total++
+	if sr.lab.Labels[ref] == idem.Idempotent {
+		inst.tally.idem++
+	}
+	inst.tally.byCat[int(sr.lab.Categories[ref])]++
+}
+
+func (sr *specRunner) trackOccupancy(inst *instance) {
+	if n := inst.buf.Size(); n > sr.stats.PeakSpecOccupancy {
+		sr.stats.PeakSpecOccupancy = n
+	}
+}
+
+// doLoad resolves a read reference.
+func (sr *specRunner) doLoad(inst *instance, ev vm.Event) {
+	addr := sr.addrOf(inst, ev.Ref, ev.Subs)
+	if sr.isIdem(ev.Ref) {
+		// Idempotent reads completely bypass the speculative storage and
+		// reference the non-speculative storage directly (Definition 4).
+		inst.m.ResumeLoad(sr.mem[addr])
+		inst.clock += sr.hier.Access(inst.proc, addr)
+		sr.tally(inst, ev.Ref)
+		return
+	}
+	// Speculative read: own buffer, then youngest ancestor, then
+	// non-speculative storage (HOSE Property 4).
+	if e := inst.buf.Lookup(addr); e != nil && (e.Written || e.ReadFromBelow) {
+		inst.m.ResumeLoad(e.Value)
+		inst.clock += sr.cfg.SpecLatency
+		sr.tally(inst, ev.Ref)
+		return
+	}
+	val := int64(0)
+	srcAge := -1
+	var lat int64
+	found := false
+	for a := inst.age - 1; a >= sr.oldest; a-- {
+		anc := sr.insts[a]
+		if anc.state == stRetired {
+			break
+		}
+		if e := anc.buf.Lookup(addr); e != nil && e.Written {
+			val, srcAge, lat, found = e.Value, a, sr.cfg.SpecLatency, true
+			break
+		}
+	}
+	if !found {
+		val = sr.mem[addr]
+		lat = sr.hier.Access(inst.proc, addr)
+	}
+	if !inst.buf.NoteRead(addr, val, srcAge) {
+		sr.stats.Overflows++
+		if inst.age != sr.oldest {
+			sr.stall(inst, ev)
+			return
+		}
+		// The oldest segment is non-speculative: proceed untracked.
+	}
+	sr.trackOccupancy(inst)
+	inst.m.ResumeLoad(val)
+	inst.clock += lat
+	sr.tally(inst, ev.Ref)
+}
+
+// doStore resolves a write reference.
+func (sr *specRunner) doStore(inst *instance, ev vm.Event) {
+	addr := sr.addrOf(inst, ev.Ref, ev.Subs)
+	// Both speculative and idempotent writes first check for prematurely
+	// executed speculative loads in younger segments (Definition 4 /
+	// HOSE Property 5).
+	sr.checkViolation(inst, addr)
+	if sr.isIdem(ev.Ref) {
+		// The value goes directly to non-speculative storage; nothing is
+		// kept in speculative storage.
+		sr.mem[addr] = ev.Value
+		inst.clock += sr.hier.Access(inst.proc, addr)
+		sr.tally(inst, ev.Ref)
+		return
+	}
+	if !inst.buf.Write(addr, ev.Value) {
+		sr.stats.Overflows++
+		if inst.age != sr.oldest {
+			sr.stall(inst, ev)
+			return
+		}
+		// Oldest: write through to non-speculative storage.
+		sr.mem[addr] = ev.Value
+		inst.clock += sr.hier.Access(inst.proc, addr)
+	} else {
+		inst.clock += sr.cfg.SpecLatency
+		sr.trackOccupancy(inst)
+	}
+	sr.tally(inst, ev.Ref)
+}
+
+// stall parks the instance until it becomes the oldest (speculative
+// storage overflow: "execution halts until speculation is resolved").
+func (sr *specRunner) stall(inst *instance, ev vm.Event) {
+	sr.trace("t=%d age %d stalls on overflow (buffer %d/%d)",
+		inst.clock, inst.age, inst.buf.Size(), inst.buf.Capacity())
+	inst.pendingEv = &ev
+	inst.state = stStalled
+	inst.stallStart = inst.clock
+}
+
+// checkViolation detects flow-dependence violations: a younger segment
+// consumed this location from a source no younger than the writer. The
+// speculation engine rolls back the violating segment and everything
+// younger.
+func (sr *specRunner) checkViolation(writer *instance, addr int64) {
+	for a := writer.age + 1; a < len(sr.insts); a++ {
+		v := sr.insts[a]
+		if v.state == stRetired {
+			continue
+		}
+		if v.buf.PrematureRead(addr, writer.age) != nil {
+			sr.stats.FlowViolations++
+			sr.trace("t=%d age %d write to addr %d violates premature read by age %d",
+				writer.clock, writer.age, addr, a)
+			sr.squashFrom(a, writer.clock)
+			return
+		}
+	}
+}
+
+// trace writes one engine-event line when tracing is enabled.
+func (sr *specRunner) trace(format string, args ...any) {
+	if sr.cfg.Trace != nil {
+		fmt.Fprintf(sr.cfg.Trace, "[%s] "+format+"\n", append([]any{sr.r.Name}, args...)...)
+	}
+}
+
+// squashFrom rolls back instances age..youngest: buffers cleared, machines
+// reset, restart after the rollback penalty (HOSE Property 2).
+func (sr *specRunner) squashFrom(age int, t int64) {
+	sr.trace("t=%d squash ages %d..%d (flow violation)", t, age, len(sr.insts)-1)
+	for a := age; a < len(sr.insts); a++ {
+		inst := sr.insts[a]
+		if inst.state == stRetired {
+			continue
+		}
+		if inst.state == stStalled {
+			sr.stats.OverflowStallCycles += t - inst.stallStart
+		}
+		inst.m.Reset()
+		inst.buf.Clear()
+		inst.pendingEv = nil
+		inst.exitReq = false
+		inst.actualNext = unknownNext
+		inst.state = stRunning
+		inst.clock = t + sr.cfg.RollbackPenalty
+		inst.doneTime = 0
+		inst.tally = refTally{}
+		sr.stats.SquashedSegments++
+	}
+}
+
+// complete handles segment completion: control-dependence verification
+// against the speculatively spawned successor, then commit of the oldest
+// chain.
+func (sr *specRunner) complete(inst *instance) {
+	inst.state = stDone
+	inst.doneTime = inst.clock
+	inst.exitReq = inst.m.ExitRequested
+	inst.actualNext = sr.actualNext(inst)
+	if len(sr.insts) > inst.age+1 {
+		spawned := sr.insts[inst.age+1]
+		wrong := false
+		if sr.r.Kind == ir.LoopRegion {
+			wrong = inst.actualNext == exitNext
+		} else {
+			wrong = inst.actualNext != spawned.seg.ID
+		}
+		if wrong {
+			// Control dependence violation: the successor segment is
+			// different from the speculatively chosen one (HOSE
+			// Property 5); roll back all younger segments.
+			sr.stats.ControlViolations++
+			sr.trace("t=%d age %d control violation (actual next %d)", inst.doneTime, inst.age, inst.actualNext)
+			sr.truncateAfter(inst)
+		}
+	}
+	sr.retireChain()
+	sr.spawnAll()
+}
+
+// actualNext computes the true successor of a completed instance.
+func (sr *specRunner) actualNext(inst *instance) int {
+	if inst.exitReq {
+		return exitNext
+	}
+	if sr.r.Kind == ir.LoopRegion {
+		if inst.age+1 >= len(sr.iters) {
+			return exitNext
+		}
+		return sr.r.Segments[0].ID
+	}
+	return nextSegment(inst.seg, inst.m)
+}
+
+// truncateAfter discards the (wrongly speculated) instances younger than
+// inst, freeing their processors.
+func (sr *specRunner) truncateAfter(inst *instance) {
+	t := inst.doneTime
+	for a := inst.age + 1; a < len(sr.insts); a++ {
+		v := sr.insts[a]
+		if v.state == stStalled {
+			sr.stats.OverflowStallCycles += t - v.stallStart
+		}
+		sr.procFree[v.proc] = t + sr.cfg.RollbackPenalty
+		sr.procInst[v.proc] = nil
+		sr.stats.SquashedSegments++
+	}
+	sr.insts = sr.insts[:inst.age+1]
+	sr.stopSpawn = inst.actualNext == exitNext
+}
+
+// retireChain commits completed segments in age order (HOSE Property 6):
+// only the oldest segment may commit, and commits are serialized.
+func (sr *specRunner) retireChain() {
+	for sr.oldest < len(sr.insts) && sr.insts[sr.oldest].state == stDone {
+		inst := sr.insts[sr.oldest]
+		entries := inst.buf.WrittenEntries()
+		start := inst.doneTime
+		if sr.commitFree > start {
+			start = sr.commitFree
+		}
+		// Committed values drain through the memory hierarchy: each entry
+		// pays the commit overhead plus the (possibly missing) cache
+		// access, serialized on the commit chain. This is what makes
+		// speculative-storage pressure expensive and what idempotent
+		// references avoid by writing through during execution.
+		t := start
+		for _, e := range entries {
+			t += sr.cfg.CommitPerEntry + sr.hier.Access(inst.proc, e.Addr)
+			sr.mem[e.Addr] = e.Value
+		}
+		sr.stats.CommittedEntries += int64(len(entries))
+		sr.trace("t=%d age %d retires (%d entries committed)", t, inst.age, len(entries))
+		sr.commitFree = t
+		inst.state = stRetired
+		inst.buf.Clear()
+
+		sr.stats.DynRefs += inst.tally.total
+		sr.stats.IdemRefs += inst.tally.idem
+		for c := range inst.tally.byCat {
+			sr.stats.RefsByCategory[c] += inst.tally.byCat[c]
+		}
+		sr.stats.Instructions += inst.tally.instrs
+		sr.stats.SegmentsRetired++
+
+		sr.procFree[inst.proc] = t
+		sr.procInst[inst.proc] = nil
+		sr.oldest++
+
+		// If the new oldest was stalled on overflow, it is now
+		// non-speculative and may proceed.
+		if sr.oldest < len(sr.insts) {
+			n := sr.insts[sr.oldest]
+			if n.state == stStalled {
+				sr.stats.OverflowStallCycles += t - n.stallStart
+				n.state = stRunning
+				if n.clock < t {
+					n.clock = t
+				}
+			}
+		}
+		// An early-exiting oldest segment ends the region: discard any
+		// younger speculation that survived (it was squashed at
+		// completion time already unless it completed later).
+		if inst.actualNext == exitNext && sr.oldest < len(sr.insts) {
+			sr.truncateAfterRetired(inst, t)
+		}
+	}
+}
+
+// truncateAfterRetired drops younger instances after a retired early-exit
+// segment.
+func (sr *specRunner) truncateAfterRetired(inst *instance, t int64) {
+	for a := sr.oldest; a < len(sr.insts); a++ {
+		v := sr.insts[a]
+		if v.state == stStalled {
+			sr.stats.OverflowStallCycles += t - v.stallStart
+		}
+		sr.procFree[v.proc] = t
+		sr.procInst[v.proc] = nil
+		sr.stats.SquashedSegments++
+	}
+	sr.insts = sr.insts[:sr.oldest]
+	sr.stopSpawn = true
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"refidem/internal/engine"
+	"refidem/internal/workloads"
+)
+
+func TestFigure5(t *testing.T) {
+	rows, err := Figure5(engine.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	over := 0
+	for _, r := range rows {
+		if r.Total > 0.6 {
+			over++
+		}
+		if r.Total < 0 || r.Total > 1 {
+			t.Errorf("%s: total %v out of range", r.Bench, r.Total)
+		}
+		sum := r.ReadOnly + r.Private + r.SharedDep
+		if d := r.Total - sum; d > 0.01 || d < -0.01 {
+			t.Errorf("%s: categories sum %.3f != total %.3f", r.Bench, sum, r.Total)
+		}
+	}
+	if over != 7 {
+		t.Errorf("benchmarks over 60%% = %d, want 7 (paper headline)", over)
+	}
+	s := RenderFigure5(rows)
+	for _, want := range []string{"Figure 5", "TOMCATV", "fully parallel", "7 of 13"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigureLoops(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	wantCounts := map[int]int{6: 3, 7: 2, 8: 3, 9: 3}
+	for fig, want := range wantCounts {
+		results, err := FigureLoops(fig, cfg, 0)
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		if len(results) != want {
+			t.Errorf("fig %d: %d loops, want %d", fig, len(results), want)
+		}
+		for _, lr := range results {
+			if lr.CaseSpeedup <= lr.HoseSpeedup {
+				t.Errorf("fig %d %s: CASE %.2f <= HOSE %.2f", fig, lr.Spec, lr.CaseSpeedup, lr.HoseSpeedup)
+			}
+		}
+		s := RenderFigureLoops(fig, results)
+		if !strings.Contains(s, "(a)") || !strings.Contains(s, "(b)") {
+			t.Errorf("fig %d render missing panels", fig)
+		}
+		if fig == 9 && !strings.Contains(s, "(c)") {
+			t.Error("fig 9 render missing sub-category panel")
+		}
+	}
+}
+
+func TestAblationCapacity(t *testing.T) {
+	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	pts, err := AblationCapacity(spec, []int{16, 128, 1024}, engine.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// With enough capacity HOSE stops overflowing and catches up.
+	if pts[2].HoseOverflows != 0 {
+		t.Errorf("1024-entry HOSE still overflows: %d", pts[2].HoseOverflows)
+	}
+	if pts[0].HoseOverflows == 0 {
+		t.Error("16-entry HOSE should overflow")
+	}
+	if pts[0].HoseSpeedup >= pts[2].HoseSpeedup {
+		t.Errorf("HOSE should improve with capacity: %.2f vs %.2f",
+			pts[0].HoseSpeedup, pts[2].HoseSpeedup)
+	}
+	// CASE is insensitive to capacity on this loop (nothing overflows).
+	if d := pts[0].CaseSpeedup - pts[2].CaseSpeedup; d > 0.3 || d < -0.3 {
+		t.Errorf("CASE should be capacity-insensitive: %.2f vs %.2f",
+			pts[0].CaseSpeedup, pts[2].CaseSpeedup)
+	}
+	if s := RenderCapacity(spec.String(), pts); !strings.Contains(s, "capacity") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationCategories(t *testing.T) {
+	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	rows, err := AblationCategories(spec, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	none, all := rows[0], rows[len(rows)-1]
+	if none.IdemFrac != 0 {
+		t.Errorf("none-enabled run should have 0 idempotent refs, got %.2f", none.IdemFrac)
+	}
+	if all.Speedup <= none.Speedup {
+		t.Errorf("full labeling %.2f should beat none %.2f", all.Speedup, none.Speedup)
+	}
+	// Read-only labeling alone should recover most of the benefit on a
+	// read-only-dominated loop.
+	ro := rows[1]
+	if ro.Speedup <= none.Speedup {
+		t.Errorf("read-only labeling should help: %.2f vs %.2f", ro.Speedup, none.Speedup)
+	}
+	if s := RenderCategories(spec.String(), rows); !strings.Contains(s, "read-only") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationProcessors(t *testing.T) {
+	spec, _ := workloads.FindLoop("MGRID", "RESID_DO600")
+	pts, err := AblationProcessors(spec, []int{1, 2, 4, 8}, engine.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatal("wrong point count")
+	}
+	// CASE should scale with processors on a fully-independent loop.
+	if pts[3].CaseSpeedup <= pts[0].CaseSpeedup {
+		t.Errorf("CASE should scale: 1p=%.2f 8p=%.2f", pts[0].CaseSpeedup, pts[3].CaseSpeedup)
+	}
+	if s := RenderProcessors(spec.String(), pts); !strings.Contains(s, "processors") {
+		t.Error("render broken")
+	}
+}
+
+func TestRunLoopRejectsNothing(t *testing.T) {
+	for _, spec := range workloads.NamedLoops() {
+		if _, err := RunLoop(spec, engine.DefaultConfig()); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}

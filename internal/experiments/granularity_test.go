@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"refidem/internal/engine"
+	"refidem/internal/ir"
+	"refidem/internal/workloads"
+)
+
+func residProgram() NamedProgram {
+	spec, _ := workloads.FindLoop("MGRID", "RESID_DO600")
+	return NamedProgram{Name: spec.String(), Make: func() *ir.Program { return spec.Program() }}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	pts, err := AblationGranularity(residProgram(), []int{1, 2, 5}, engine.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The paper's argument: larger segments exacerbate overflow under
+	// HOSE (more locations per segment), while CASE — tracking nothing on
+	// this fully-independent loop — degrades far less.
+	if pts[2].HoseOverflows <= pts[0].HoseOverflows {
+		t.Errorf("HOSE overflows should grow with segment size: %d -> %d",
+			pts[0].HoseOverflows, pts[2].HoseOverflows)
+	}
+	if pts[2].HoseSpeedup >= pts[0].HoseSpeedup {
+		t.Errorf("HOSE should degrade with segment size: %.2f -> %.2f",
+			pts[0].HoseSpeedup, pts[2].HoseSpeedup)
+	}
+	hoseDrop := pts[0].HoseSpeedup - pts[2].HoseSpeedup
+	caseDrop := pts[0].CaseSpeedup - pts[2].CaseSpeedup
+	if caseDrop >= hoseDrop {
+		t.Errorf("CASE should degrade less than HOSE: CASE drop %.2f vs HOSE drop %.2f",
+			caseDrop, hoseDrop)
+	}
+	for _, p := range pts {
+		if p.CasePeak != 0 {
+			t.Errorf("block %d: fully-independent CASE should track nothing, peak %d", p.Block, p.CasePeak)
+		}
+	}
+	if s := RenderGranularity("x", pts); !strings.Contains(s, "iters/segment") {
+		t.Error("render broken")
+	}
+}
+
+func TestAblationGranularityRejectsBadBlocks(t *testing.T) {
+	if _, err := AblationGranularity(residProgram(), []int{7}, engine.DefaultConfig(), 0); err == nil {
+		t.Error("non-dividing block accepted (RESID has 30 iterations)")
+	}
+}
+
+func TestAblationDepDirectionShape(t *testing.T) {
+	rows := AblationDepDirection(DefaultDirectionPrograms())
+	if len(rows) < 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ConservativeFrac > r.PreciseFrac+1e-9 {
+			t.Errorf("%s: conservative %.2f exceeds precise %.2f", r.Loop, r.ConservativeFrac, r.PreciseFrac)
+		}
+	}
+	// BUTS is the canonical case: the precise direction information is
+	// what allows the S1 reads to be labeled.
+	if rows[0].PreciseFrac-rows[0].ConservativeFrac < 0.3 {
+		t.Errorf("BUTS should lose >30 points without direction info: %.2f vs %.2f",
+			rows[0].PreciseFrac, rows[0].ConservativeFrac)
+	}
+	if s := RenderDirections(rows); !strings.Contains(s, "precise") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"refidem/internal/engine"
+	"refidem/internal/ir"
+	"refidem/internal/workloads"
+)
+
+// LoopJSON is the serializable slice of a LoopResult.
+type LoopJSON struct {
+	Bench         string  `json:"bench"`
+	Loop          string  `json:"loop"`
+	Figure        int     `json:"figure"`
+	ReadOnly      float64 `json:"read_only_frac"`
+	Private       float64 `json:"private_frac"`
+	SharedDep     float64 `json:"shared_dependent_frac"`
+	FullyInd      float64 `json:"fully_independent_frac"`
+	Idem          float64 `json:"idempotent_frac"`
+	SeqCycles     int64   `json:"seq_cycles"`
+	HoseCycles    int64   `json:"hose_cycles"`
+	CaseCycles    int64   `json:"case_cycles"`
+	HoseSpeedup   float64 `json:"hose_speedup"`
+	CaseSpeedup   float64 `json:"case_speedup"`
+	HoseOverflows int64   `json:"hose_overflows"`
+	CaseOverflows int64   `json:"case_overflows"`
+}
+
+func toLoopJSON(lr LoopResult) LoopJSON {
+	return LoopJSON{
+		Bench: lr.Spec.Bench, Loop: lr.Spec.Name, Figure: lr.Spec.Fig,
+		ReadOnly: lr.ReadOnly, Private: lr.Private, SharedDep: lr.SharedDep,
+		FullyInd: lr.FullyInd, Idem: lr.Idem,
+		SeqCycles: lr.SeqCycles, HoseCycles: lr.HoseCycles, CaseCycles: lr.CaseCycles,
+		HoseSpeedup: lr.HoseSpeedup, CaseSpeedup: lr.CaseSpeedup,
+		HoseOverflows: lr.HoseStats.Overflows, CaseOverflows: lr.CaseStats.Overflows,
+	}
+}
+
+// Summary bundles every experiment's data in one JSON document, so the
+// whole evaluation can be re-plotted outside Go.
+type Summary struct {
+	Figure5     []Fig5Row             `json:"figure5"`
+	Loops       []LoopJSON            `json:"figures6to9"`
+	Capacity    []CapacityPoint       `json:"ablation_capacity"`
+	Categories  []CategoryAblationRow `json:"ablation_categories"`
+	Processors  []ProcessorPoint      `json:"ablation_processors"`
+	Directions  []DirectionRow        `json:"ablation_directions"`
+	Granularity []GranularityPoint    `json:"ablation_granularity"`
+	Assoc       []AssocPoint          `json:"ablation_associativity"`
+}
+
+// CollectSummary runs every experiment and gathers the results.
+func CollectSummary(cfg engine.Config, workers int) (*Summary, error) {
+	s := &Summary{}
+	var err error
+	if s.Figure5, err = Figure5(cfg, workers); err != nil {
+		return nil, err
+	}
+	for _, fig := range []int{6, 7, 8, 9} {
+		results, err := FigureLoops(fig, cfg, workers)
+		if err != nil {
+			return nil, err
+		}
+		for _, lr := range results {
+			s.Loops = append(s.Loops, toLoopJSON(lr))
+		}
+	}
+	tom, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	if s.Capacity, err = AblationCapacity(tom, []int{8, 16, 32, 64, 128, 256, 512, 1024}, cfg, workers); err != nil {
+		return nil, err
+	}
+	if s.Categories, err = AblationCategories(tom, cfg); err != nil {
+		return nil, err
+	}
+	resid, _ := workloads.FindLoop("MGRID", "RESID_DO600")
+	if s.Processors, err = AblationProcessors(resid, []int{1, 2, 4, 8, 16}, cfg, workers); err != nil {
+		return nil, err
+	}
+	s.Directions = AblationDepDirection(DefaultDirectionPrograms())
+	if s.Granularity, err = AblationGranularity(residNamed(resid), []int{1, 2, 3, 5, 6}, cfg, workers); err != nil {
+		return nil, err
+	}
+	if s.Assoc, err = AblationAssociativity(tom, cfg, workers); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func residNamed(spec workloads.LoopSpec) NamedProgram {
+	return NamedProgram{Name: spec.String(), Make: func() *ir.Program { return spec.Program() }}
+}
+
+// WriteJSON runs everything and writes the indented JSON document.
+func WriteJSON(w io.Writer, cfg engine.Config, workers int) error {
+	s, err := CollectSummary(cfg, workers)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

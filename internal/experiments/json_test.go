@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"refidem/internal/engine"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, engine.DefaultConfig(), 0); err != nil {
+		t.Fatal(err)
+	}
+	var s Summary
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(s.Figure5) != 13 {
+		t.Errorf("figure5 rows = %d", len(s.Figure5))
+	}
+	if len(s.Loops) != 11 {
+		t.Errorf("loop rows = %d", len(s.Loops))
+	}
+	if len(s.Capacity) == 0 || len(s.Categories) == 0 || len(s.Processors) == 0 ||
+		len(s.Directions) == 0 || len(s.Granularity) == 0 || len(s.Assoc) == 0 {
+		t.Error("missing ablation sections")
+	}
+	for _, l := range s.Loops {
+		if l.CaseSpeedup <= 0 || l.HoseSpeedup <= 0 {
+			t.Errorf("%s %s: non-positive speedups", l.Bench, l.Loop)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"refidem/internal/report"
+)
+
+// RenderFigure5 draws the Figure 5 stacked bars: fraction of idempotent
+// references in non-parallelizable sections, split into read-only ('#'),
+// private ('+') and shared-dependent ('*').
+func RenderFigure5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Fraction of idempotent references in code sections that\n")
+	b.WriteString("cannot be detected as parallel (# read-only, + private, * shared-dependent)\n\n")
+	for _, r := range rows {
+		if r.FullyParallel {
+			fmt.Fprintf(&b, "%-12s (fully parallel: no non-parallelizable sections)\n", r.Bench)
+			continue
+		}
+		b.WriteString(report.StackedBar(r.Bench,
+			[]float64{r.ReadOnly, r.Private, r.SharedDep},
+			[]rune{'#', '+', '*'}, 1, 50))
+		b.WriteString("\n")
+	}
+	over := 0
+	for _, r := range rows {
+		if r.Total > 0.6 {
+			over++
+		}
+	}
+	fmt.Fprintf(&b, "\n%d of %d benchmarks have more than 60%% idempotent references.\n", over, len(rows))
+	return b.String()
+}
+
+var figureTitles = map[int]string{
+	6: "Figure 6: loops with idempotent references in category read-only",
+	7: "Figure 7: loops with idempotent references in category private",
+	8: "Figure 8: loops with idempotent references in category shared-dependent",
+	9: "Figure 9: fully-independent regions",
+}
+
+// categoryForFig names the category panel (a) of each loop figure reports.
+func categoryForFig(fig int, lr LoopResult) float64 {
+	switch fig {
+	case 6:
+		return lr.ReadOnly
+	case 7:
+		return lr.Private
+	case 8:
+		return lr.SharedDep
+	default:
+		return lr.Idem
+	}
+}
+
+// RenderFigureLoops draws panels (a) (category reference ratio) and (b)
+// (loop speedups before/after labeling) of Figures 6-9.
+func RenderFigureLoops(fig int, results []LoopResult) string {
+	var b strings.Builder
+	b.WriteString(figureTitles[fig])
+	b.WriteString("\n\n(a) ratio of category references to total memory references\n")
+	for _, lr := range results {
+		b.WriteString(report.Bar(lr.Spec.Bench+" "+lr.Spec.Name, categoryForFig(fig, lr), 1, 40))
+		b.WriteString("\n")
+	}
+	b.WriteString("\n(b) loop speedups relative to a uniprocessor, before (HOSE) and after (CASE) labeling\n")
+	t := report.NewTable("", "loop", "HOSE", "CASE", "HOSE ovf", "CASE ovf", "peak spec HOSE", "peak spec CASE")
+	for _, lr := range results {
+		t.AddRowf(lr.Spec.String(), lr.HoseSpeedup, lr.CaseSpeedup,
+			lr.HoseStats.Overflows, lr.CaseStats.Overflows,
+			lr.HoseStats.PeakSpecOccupancy, lr.CaseStats.PeakSpecOccupancy)
+	}
+	b.WriteString(t.String())
+	if fig == 9 {
+		b.WriteString("\n(c) idempotent sub-categories (read-only vs write-shared)\n")
+		t2 := report.NewTable("", "loop", "read-only", "fully-indep (shared)", "private")
+		for _, lr := range results {
+			t2.AddRowf(lr.Spec.String(), lr.ReadOnly, lr.FullyInd, lr.Private)
+		}
+		b.WriteString(t2.String())
+	}
+	return b.String()
+}
+
+// RenderCapacity draws the capacity-sweep ablation.
+func RenderCapacity(loop string, pts []CapacityPoint) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: speculative storage capacity sweep on %s", loop),
+		"capacity (entries)", "HOSE speedup", "CASE speedup", "HOSE overflows")
+	for _, p := range pts {
+		t.AddRowf(p.Capacity, p.HoseSpeedup, p.CaseSpeedup, p.HoseOverflows)
+	}
+	return t.String()
+}
+
+// RenderCategories draws the per-category labeling ablation.
+func RenderCategories(loop string, rows []CategoryAblationRow) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: labeling restricted by category on %s", loop),
+		"categories enabled", "speedup", "idempotent fraction")
+	for _, r := range rows {
+		t.AddRowf(r.Enabled, r.Speedup, r.IdemFrac)
+	}
+	return t.String()
+}
+
+// RenderAssociativity draws the storage-organization ablation.
+func RenderAssociativity(loop string, pts []AssocPoint) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: speculative storage organization (equal capacity) on %s", loop),
+		"organization", "HOSE speedup", "CASE speedup", "HOSE overflows")
+	for _, p := range pts {
+		t.AddRowf(p.Label, p.HoseSpeedup, p.CaseSpeedup, p.HoseOverflows)
+	}
+	return t.String()
+}
+
+// RenderGranularity draws the segment-granularity ablation.
+func RenderGranularity(loop string, pts []GranularityPoint) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: segment granularity (iterations per segment) on %s", loop),
+		"iters/segment", "HOSE speedup", "CASE speedup", "HOSE overflows", "HOSE peak", "CASE peak")
+	for _, p := range pts {
+		t.AddRowf(p.Block, p.HoseSpeedup, p.CaseSpeedup, p.HoseOverflows, p.HosePeak, p.CasePeak)
+	}
+	return t.String()
+}
+
+// RenderDirections draws the dependence-direction ablation.
+func RenderDirections(rows []DirectionRow) string {
+	t := report.NewTable(
+		"Ablation: idempotent fraction with precise vs direction-less dependences",
+		"loop", "precise", "conservative")
+	for _, r := range rows {
+		t.AddRowf(r.Loop, r.PreciseFrac, r.ConservativeFrac)
+	}
+	return t.String()
+}
+
+// RenderProcessors draws the processor scaling ablation.
+func RenderProcessors(loop string, pts []ProcessorPoint) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: processor count sweep on %s", loop),
+		"processors", "HOSE speedup", "CASE speedup")
+	for _, p := range pts {
+		t.AddRowf(p.Processors, p.HoseSpeedup, p.CaseSpeedup)
+	}
+	return t.String()
+}

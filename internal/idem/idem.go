@@ -1,0 +1,382 @@
+// Package idem implements the paper's core contribution: reference
+// idempotency labeling (Algorithm 2), backed by Theorems 1 and 2.
+//
+//	Theorem 1 (Idempotent Write): a write reference is idempotent iff it
+//	is a re-occurring first write and it is not the sink of a
+//	cross-segment dependence.
+//
+//	Theorem 2 (Idempotent Read): a read reference is idempotent iff it is
+//	not the sink of any data dependence, or it is dependent on an
+//	idempotent write reference within the same segment.
+//
+// The package also assigns every idempotent reference to one of the
+// paper's §4.1 categories (fully-independent, read-only, private,
+// shared-dependent), which the evaluation figures break down.
+package idem
+
+import (
+	"fmt"
+
+	"refidem/internal/cfg"
+	"refidem/internal/dataflow"
+	"refidem/internal/deps"
+	"refidem/internal/ir"
+	"refidem/internal/rfw"
+)
+
+// Label is the classification the compiler communicates to the hardware.
+type Label uint8
+
+const (
+	// Speculative references are tracked in speculative storage, exactly
+	// as under HOSE.
+	Speculative Label = iota
+	// Idempotent references bypass speculative storage and access the
+	// non-speculative memory hierarchy directly.
+	Idempotent
+)
+
+func (l Label) String() string {
+	if l == Idempotent {
+		return "idempotent"
+	}
+	return "speculative"
+}
+
+// Category is the idempotency category of §4.1 of the paper.
+type Category uint8
+
+const (
+	// CatSpeculative marks references that stay in speculative storage
+	// (no idempotency category applies).
+	CatSpeculative Category = iota
+	// CatFullyIndependent: all references of a region with no
+	// cross-segment data or control dependences (Lemma 7).
+	CatFullyIndependent
+	// CatReadOnly: references to variables with no write in the region.
+	CatReadOnly
+	// CatPrivate: references to segment-private variables.
+	CatPrivate
+	// CatSharedDependent: idempotent references to shared variables in
+	// regions that do carry dependences — the paper's most advanced
+	// category.
+	CatSharedDependent
+)
+
+var categoryNames = [...]string{
+	CatSpeculative:      "speculative",
+	CatFullyIndependent: "fully-independent",
+	CatReadOnly:         "read-only",
+	CatPrivate:          "private",
+	CatSharedDependent:  "shared-dependent",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", c)
+}
+
+// Result is the labeling of one region together with the analysis
+// artifacts it was derived from.
+type Result struct {
+	Region     *ir.Region
+	Labels     map[*ir.Ref]Label
+	Categories map[*ir.Ref]Category
+	// FullyIndependent reports that the region carries no cross-segment
+	// data or control dependences (Lemma 7 applies).
+	FullyIndependent bool
+
+	Info  *dataflow.RegionInfo
+	Deps  *deps.Analysis
+	RFW   *rfw.Result
+	Graph *cfg.Graph
+}
+
+// LabelRegion runs the full pipeline (dataflow, dependences, RFW,
+// Algorithm 2) on one region. liveOut overrides the live-out set; pass nil
+// to use the region annotation or the conservative default.
+func LabelRegion(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *Result {
+	g := cfg.FromRegion(r)
+	info := dataflow.AnalyzeRegion(p, r, liveOut)
+	da := deps.Analyze(r, g)
+	rf := rfw.Analyze(r, g, info, da)
+	return label(r, g, info, da, rf)
+}
+
+// LabelRegionConservative labels a region with direction-less (treated as
+// bidirectional) may-dependences, modeling a compiler without
+// execution-order direction information. Used by the dependence-direction
+// ablation: every reference idempotent here is also idempotent under the
+// precise analysis, but not vice versa.
+func LabelRegionConservative(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *Result {
+	g := cfg.FromRegion(r)
+	info := dataflow.AnalyzeRegion(p, r, liveOut)
+	da := deps.Conservative(deps.Analyze(r, g))
+	rf := rfw.Analyze(r, g, info, da)
+	return label(r, g, info, da, rf)
+}
+
+// LabelProgram labels every region of the program, using the inter-region
+// liveness pass for live-out sets.
+func LabelProgram(p *ir.Program) map[*ir.Region]*Result {
+	infos := dataflow.AnalyzeProgram(p)
+	out := make(map[*ir.Region]*Result, len(p.Regions))
+	for _, r := range p.Regions {
+		g := cfg.FromRegion(r)
+		info := infos[r]
+		da := deps.Analyze(r, g)
+		rf := rfw.Analyze(r, g, info, da)
+		out[r] = label(r, g, info, da, rf)
+	}
+	return out
+}
+
+// label is Algorithm 2.
+func label(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis, rf *rfw.Result) *Result {
+	res := &Result{
+		Region:     r,
+		Labels:     make(map[*ir.Ref]Label, len(r.Refs)),
+		Categories: make(map[*ir.Ref]Category, len(r.Refs)),
+		Info:       info,
+		Deps:       da,
+		RFW:        rf,
+		Graph:      g,
+	}
+	// Initially, all references are labeled speculative.
+	for _, ref := range r.Refs {
+		res.Labels[ref] = Speculative
+		res.Categories[ref] = CatSpeculative
+	}
+
+	// Step 2: fully independent region — label everything idempotent.
+	// Dependences on private variables do not count: privatization gives
+	// each segment its own storage, which removes them.
+	res.FullyIndependent = isFullyIndependent(r, g, info, da)
+	if res.FullyIndependent {
+		for _, ref := range r.Refs {
+			res.Labels[ref] = Idempotent
+			switch {
+			case info.ReadOnly[ref.Var]:
+				res.Categories[ref] = CatReadOnly
+			case info.Private[ref.Var]:
+				res.Categories[ref] = CatPrivate
+			default:
+				res.Categories[ref] = CatFullyIndependent
+			}
+		}
+		return res
+	}
+
+	// Step 3: dependent region.
+	// Read-only and private references.
+	for _, ref := range r.Refs {
+		switch {
+		case info.ReadOnly[ref.Var]:
+			res.Labels[ref] = Idempotent
+			res.Categories[ref] = CatReadOnly
+		case info.Private[ref.Var]:
+			res.Labels[ref] = Idempotent
+			res.Categories[ref] = CatPrivate
+		}
+	}
+	// RFW writes that are not cross-segment dependence sinks (Theorem 1),
+	// with one strengthening over the paper's statement (found by the
+	// property-based test suite, documented in DESIGN.md): a write that is
+	// the sink of an *intra-segment output dependence from a speculative
+	// write* must also stay speculative. The speculative source's value
+	// reaches non-speculative storage at commit time — after the
+	// idempotent sink's direct store — so the bypass would reorder the
+	// two stores and violate LC2. Lemma 5's proof assumes sequential
+	// execution satisfies intra-segment orderings, which holds for the
+	// storage bypass only when the earlier write is idempotent too.
+	// Demotion iterates to a fixpoint because intra-segment output
+	// dependences between inner-loop iterations can run in both
+	// directions.
+	candidate := make(map[*ir.Ref]bool)
+	for _, ref := range r.Refs {
+		if ref.Access != ir.Write || res.Labels[ref] == Idempotent {
+			continue
+		}
+		if rf.IsRFW[ref] && !da.IsCrossSink(ref) {
+			candidate[ref] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for ref := range candidate {
+			for _, d := range da.SinksAt(ref) {
+				if d.Cross || d.Kind != deps.Output {
+					continue
+				}
+				srcOK := candidate[d.Src] || res.Labels[d.Src] == Idempotent
+				if !srcOK {
+					delete(candidate, ref)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for ref := range candidate {
+		res.Labels[ref] = Idempotent
+		res.Categories[ref] = CatSharedDependent
+	}
+	// Reads: idempotent when not a dependence sink, or when every
+	// dependence into them is intra-segment with an idempotent source
+	// (Theorem 2; the all-quantifier is required — a read that is covered
+	// intra-segment but also the sink of a cross-segment flow must stay
+	// speculative by Lemma 3).
+	for _, ref := range r.Refs {
+		if ref.Access != ir.Read || res.Labels[ref] == Idempotent {
+			continue
+		}
+		sinks := da.SinksAt(ref)
+		ok := true
+		for _, d := range sinks {
+			if d.Cross || res.Labels[d.Src] != Idempotent {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			res.Labels[ref] = Idempotent
+			res.Categories[ref] = CatSharedDependent
+		}
+	}
+	return res
+}
+
+// isFullyIndependent implements the Lemma 7 precondition: no cross-segment
+// data dependences (ignoring privatized variables) and no cross-segment
+// control dependences (no branches, no data-dependent trip count).
+func isFullyIndependent(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis) bool {
+	if g.HasBranch() || r.HasEarlyExit() {
+		return false
+	}
+	for _, d := range da.All {
+		if d.Cross && !info.Private[d.Src.Var] {
+			return false
+		}
+	}
+	return true
+}
+
+// IdempotentFraction returns the fraction of static references labeled
+// idempotent, and the per-category breakdown (fractions of the total).
+func (res *Result) IdempotentFraction() (total float64, byCat map[Category]float64) {
+	byCat = make(map[Category]float64)
+	n := len(res.Region.Refs)
+	if n == 0 {
+		return 0, byCat
+	}
+	cnt := 0
+	for _, ref := range res.Region.Refs {
+		if res.Labels[ref] == Idempotent {
+			cnt++
+			byCat[res.Categories[ref]] += 1
+		}
+	}
+	for c := range byCat {
+		byCat[c] /= float64(n)
+	}
+	return float64(cnt) / float64(n), byCat
+}
+
+// CheckTheorems independently re-derives every label from Theorems 1 and 2
+// and from the lemmas' side conditions, returning a list of violations.
+// It is the oracle the property-based tests use: the Algorithm 2
+// implementation and this checker must always agree.
+func (res *Result) CheckTheorems() []error {
+	var errs []error
+	r := res.Region
+	if res.FullyIndependent {
+		// Lemma 7: everything idempotent; and the precondition must hold.
+		for _, d := range res.Deps.All {
+			if d.Cross && !res.Info.Private[d.Src.Var] {
+				errs = append(errs, fmt.Errorf("region marked fully independent but has cross dep %v", d))
+			}
+		}
+		for _, ref := range r.Refs {
+			if res.Labels[ref] != Idempotent {
+				errs = append(errs, fmt.Errorf("fully independent region has speculative ref %v", ref))
+			}
+		}
+		return errs
+	}
+	wantWrites := res.expectedWrites()
+	for _, ref := range r.Refs {
+		got := res.Labels[ref] == Idempotent
+		want := res.expectedIdempotent(ref, wantWrites)
+		if got != want {
+			errs = append(errs, fmt.Errorf("ref %v: labeled %v, theorems say idempotent=%v", ref, res.Labels[ref], want))
+		}
+	}
+	// Lemma 3: the sink of a cross-segment dependence must be speculative
+	// (unless privatization removed the dependence).
+	for _, d := range res.Deps.All {
+		if !d.Cross || res.Info.Private[d.Dst.Var] {
+			continue
+		}
+		if res.Labels[d.Dst] == Idempotent {
+			errs = append(errs, fmt.Errorf("cross-segment sink labeled idempotent: %v", d))
+		}
+	}
+	return errs
+}
+
+// expectedWrites independently derives the idempotent write set: Theorem 1
+// (RFW and not a cross-segment sink) plus the LC2 strengthening for
+// intra-segment output dependences with speculative sources, iterated to a
+// fixpoint.
+func (res *Result) expectedWrites() map[*ir.Ref]bool {
+	ok := make(map[*ir.Ref]bool)
+	for _, ref := range res.Region.Refs {
+		if ref.Access != ir.Write {
+			continue
+		}
+		if res.Info.ReadOnly[ref.Var] || res.Info.Private[ref.Var] {
+			ok[ref] = true
+			continue
+		}
+		if res.RFW.IsRFW[ref] && !res.Deps.IsCrossSink(ref) {
+			ok[ref] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for ref := range ok {
+			if res.Info.Private[ref.Var] || res.Info.ReadOnly[ref.Var] {
+				continue
+			}
+			for _, d := range res.Deps.SinksAt(ref) {
+				if !d.Cross && d.Kind == deps.Output && !ok[d.Src] {
+					delete(ok, ref)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// expectedIdempotent is the direct theorem-based classification.
+func (res *Result) expectedIdempotent(ref *ir.Ref, wantWrites map[*ir.Ref]bool) bool {
+	if res.Info.ReadOnly[ref.Var] || res.Info.Private[ref.Var] {
+		return true
+	}
+	if ref.Access == ir.Write {
+		return wantWrites[ref]
+	}
+	for _, d := range res.Deps.SinksAt(ref) {
+		if d.Cross {
+			return false
+		}
+		if !res.expectedIdempotent(d.Src, wantWrites) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package ir
+
+// CloneExpr deep-copies an expression, allocating fresh Ref nodes for
+// every load. Clones are used by program transformations: reference
+// identity matters to the analyses, so transformed code must never share
+// Ref nodes with the original.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case *Const:
+		return &Const{Val: x.Val}
+	case *Index:
+		return &Index{Name: x.Name}
+	case *Load:
+		return &Load{Ref: CloneRef(x.Ref)}
+	case *Bin:
+		return &Bin{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	}
+	panic("ir: unknown expression in CloneExpr")
+}
+
+// CloneRef deep-copies a reference (identity and context fields reset;
+// Finalize re-derives them).
+func CloneRef(r *Ref) *Ref {
+	subs := make([]Expr, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = CloneExpr(s)
+	}
+	return &Ref{Var: r.Var, Access: r.Access, Subs: subs}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *Assign:
+			out = append(out, &Assign{LHS: CloneRef(s.LHS), RHS: CloneExpr(s.RHS)})
+		case *If:
+			out = append(out, &If{
+				Cond: CloneExpr(s.Cond),
+				Then: CloneStmts(s.Then),
+				Else: CloneStmts(s.Else),
+			})
+		case *For:
+			out = append(out, &For{
+				Index: s.Index, From: s.From, To: s.To, Step: s.Step,
+				Body: CloneStmts(s.Body),
+			})
+		case *ExitRegion:
+			out = append(out, &ExitRegion{Cond: CloneExpr(s.Cond)})
+		default:
+			panic("ir: unknown statement in CloneStmts")
+		}
+	}
+	return out
+}
+
+// SubstituteIndex replaces every use of the named loop index in the
+// statement list with the given expression (the statements must already
+// be clones; the substitution mutates in place). Inner loops that rebind
+// the same name shadow the substitution.
+func SubstituteIndex(stmts []Stmt, name string, repl Expr) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *Assign:
+			s.RHS = substExpr(s.RHS, name, repl)
+			for i, sub := range s.LHS.Subs {
+				s.LHS.Subs[i] = substExpr(sub, name, repl)
+			}
+		case *If:
+			s.Cond = substExpr(s.Cond, name, repl)
+			SubstituteIndex(s.Then, name, repl)
+			SubstituteIndex(s.Else, name, repl)
+		case *For:
+			if s.Index == name {
+				continue // shadowed
+			}
+			SubstituteIndex(s.Body, name, repl)
+		case *ExitRegion:
+			s.Cond = substExpr(s.Cond, name, repl)
+		}
+	}
+}
+
+func substExpr(e Expr, name string, repl Expr) Expr {
+	switch x := e.(type) {
+	case *Const:
+		return x
+	case *Index:
+		if x.Name == name {
+			return CloneExpr(repl)
+		}
+		return x
+	case *Load:
+		for i, sub := range x.Ref.Subs {
+			x.Ref.Subs[i] = substExpr(sub, name, repl)
+		}
+		return x
+	case *Bin:
+		x.L = substExpr(x.L, name, repl)
+		x.R = substExpr(x.R, name, repl)
+		return x
+	}
+	panic("ir: unknown expression in substExpr")
+}

@@ -1,0 +1,135 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program as mini-language source text. The output is
+// accepted by the lang package parser, which is exercised by round-trip
+// tests.
+func (p *Program) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, v := range p.Vars {
+		if v.IsScalar() {
+			fmt.Fprintf(&b, "var %s\n", v.Name)
+		} else {
+			dims := make([]string, len(v.Dims))
+			for i, d := range v.Dims {
+				dims[i] = fmt.Sprint(d)
+			}
+			fmt.Fprintf(&b, "var %s[%s]\n", v.Name, strings.Join(dims, ","))
+		}
+	}
+	for _, r := range p.Regions {
+		b.WriteString(r.Format())
+	}
+	return b.String()
+}
+
+// Format renders the region as mini-language source text.
+func (r *Region) Format() string {
+	var b strings.Builder
+	switch r.Kind {
+	case LoopRegion:
+		fmt.Fprintf(&b, "region %s loop %s = %s {\n", r.Name, r.Index, rangeStr(r.From, r.To, r.Step))
+		writeAnnotations(&b, r, "  ")
+		writeStmts(&b, r.Segments[0].Body, "  ")
+		b.WriteString("}\n")
+	case CFGRegion:
+		fmt.Fprintf(&b, "region %s cfg {\n", r.Name)
+		writeAnnotations(&b, r, "  ")
+		for _, s := range r.Segments {
+			fmt.Fprintf(&b, "  segment %s {\n", s.Name)
+			writeStmts(&b, s.Body, "    ")
+			b.WriteString("  }")
+			if len(s.Succs) > 0 {
+				names := make([]string, len(s.Succs))
+				for i, id := range s.Succs {
+					names[i] = r.Seg(id).Name
+				}
+				if s.Branch != nil {
+					fmt.Fprintf(&b, " goto %s if %s else %s", names[0], s.Branch.String(), names[1])
+				} else {
+					fmt.Fprintf(&b, " goto %s", names[0])
+				}
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func writeAnnotations(b *strings.Builder, r *Region, indent string) {
+	if len(r.Ann.Private) > 0 {
+		fmt.Fprintf(b, "%sprivate %s\n", indent, strings.Join(sortedKeys(r.Ann.Private), ", "))
+	}
+	if len(r.Ann.LiveOut) > 0 {
+		fmt.Fprintf(b, "%sliveout %s\n", indent, strings.Join(sortedKeys(r.Ann.LiveOut), ", "))
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func rangeStr(from, to, step int) string {
+	switch step {
+	case 1:
+		return fmt.Sprintf("%d to %d", from, to)
+	case -1:
+		return fmt.Sprintf("%d downto %d", from, to)
+	default:
+		if step > 0 {
+			return fmt.Sprintf("%d to %d step %d", from, to, step)
+		}
+		return fmt.Sprintf("%d downto %d step %d", from, to, -step)
+	}
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *Assign:
+			fmt.Fprintf(b, "%s%s = %s\n", indent, refStr(s.LHS), s.RHS.String())
+		case *If:
+			fmt.Fprintf(b, "%sif %s {\n", indent, s.Cond.String())
+			writeStmts(b, s.Then, indent+"  ")
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				writeStmts(b, s.Else, indent+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *For:
+			fmt.Fprintf(b, "%sfor %s = %s {\n", indent, s.Index, rangeStr(s.From, s.To, s.Step))
+			writeStmts(b, s.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *ExitRegion:
+			fmt.Fprintf(b, "%sexit if %s\n", indent, s.Cond.String())
+		}
+	}
+}
+
+func refStr(r *Ref) string {
+	if len(r.Subs) == 0 {
+		return r.Var.Name
+	}
+	subs := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = s.String()
+	}
+	return fmt.Sprintf("%s[%s]", r.Var.Name, strings.Join(subs, ","))
+}

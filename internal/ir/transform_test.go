@@ -1,0 +1,156 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func blockTestRegion(t *testing.T) (*Program, *Region) {
+	t.Helper()
+	p := NewProgram("t")
+	a := p.AddVar("a", 64)
+	b := p.AddVar("b", 64)
+	body := []Stmt{
+		&Assign{LHS: Wr(a, Idx("k")), RHS: AddE(Rd(b, Idx("k")), C(1))},
+		&For{Index: "j", From: 0, To: 2, Step: 1, Body: []Stmt{
+			&Assign{LHS: Wr(a, AddE(Idx("k"), C(32))), RHS: Idx("j")},
+		}},
+	}
+	r := &Region{Name: "r", Kind: LoopRegion, Index: "k", From: 0, To: 11, Step: 1,
+		Segments: []*Segment{{ID: 0, Body: body}}}
+	r.Ann.LiveOut = map[string]bool{"a": true}
+	r.Finalize()
+	p.AddRegion(r)
+	return p, r
+}
+
+func TestCloneStmtsIndependence(t *testing.T) {
+	_, r := blockTestRegion(t)
+	clone := CloneStmts(r.Segments[0].Body)
+	orig := r.Segments[0].Body[0].(*Assign)
+	copied := clone[0].(*Assign)
+	if orig.LHS == copied.LHS {
+		t.Error("clone shares LHS ref")
+	}
+	if orig.LHS.Var != copied.LHS.Var {
+		t.Error("clone should share variables")
+	}
+	// Mutating the clone must not affect the original.
+	copied.LHS.Subs[0] = C(99)
+	if orig.LHS.Subs[0].String() == "99" {
+		t.Error("clone aliases original subscripts")
+	}
+}
+
+func TestSubstituteIndex(t *testing.T) {
+	_, r := blockTestRegion(t)
+	body := CloneStmts(r.Segments[0].Body)
+	SubstituteIndex(body, "k", AddE(Idx("kb"), C(5)))
+	s := (&Region{Name: "x", Kind: LoopRegion, Index: "kb", From: 0, To: 1, Step: 1,
+		Segments: []*Segment{{ID: 0, Body: body}}}).Format()
+	if strings.Contains(s, "a[k]") {
+		t.Errorf("substitution missed a use:\n%s", s)
+	}
+	if !strings.Contains(s, "(kb + 5)") {
+		t.Errorf("substituted expression missing:\n%s", s)
+	}
+	// Inner loop index j untouched.
+	if !strings.Contains(s, "for j = 0 to 2") {
+		t.Errorf("inner loop damaged:\n%s", s)
+	}
+}
+
+func TestSubstituteIndexShadowing(t *testing.T) {
+	p := NewProgram("t")
+	a := p.AddVar("a", 8)
+	body := []Stmt{
+		&For{Index: "k", From: 0, To: 3, Step: 1, Body: []Stmt{
+			&Assign{LHS: Wr(a, Idx("k")), RHS: C(1)},
+		}},
+	}
+	SubstituteIndex(body, "k", C(7))
+	inner := body[0].(*For).Body[0].(*Assign)
+	if inner.LHS.Subs[0].String() != "k" {
+		t.Errorf("shadowed index was substituted: %s", inner.LHS.Subs[0])
+	}
+}
+
+func TestBlockLoopRegion(t *testing.T) {
+	p, r := blockTestRegion(t)
+	blocked, err := BlockLoopRegion(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.InstanceCount() != 4 {
+		t.Errorf("12 iterations / block 3 = 4 segments, got %d", blocked.InstanceCount())
+	}
+	p2 := &Program{Name: "t2", Vars: p.Vars}
+	p2.AddRegion(blocked)
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("blocked region invalid: %v", err)
+	}
+	// The body appears once inside the block loop: the static reference
+	// count is unchanged (each ref now executes `block` times per
+	// segment).
+	if len(blocked.Refs) != len(r.Refs) {
+		t.Errorf("blocked refs = %d, want %d", len(blocked.Refs), len(r.Refs))
+	}
+	// Every reference sits under the block loop.
+	for _, ref := range blocked.Refs {
+		if len(ref.Ctx.Loops) == 0 || ref.Ctx.Loops[0].Index != "k_sub" {
+			t.Errorf("ref %v not nested under the block loop: %+v", ref, ref.Ctx.Loops)
+		}
+	}
+}
+
+func TestBlockLoopRegionIdentity(t *testing.T) {
+	_, r := blockTestRegion(t)
+	b1, err := BlockLoopRegion(r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.InstanceCount() != r.InstanceCount() {
+		t.Error("block=1 should keep the iteration count")
+	}
+	if b1.Segments[0] == r.Segments[0] {
+		t.Error("block=1 must still clone")
+	}
+}
+
+func TestBlockLoopRegionErrors(t *testing.T) {
+	p, r := blockTestRegion(t)
+	if _, err := BlockLoopRegion(r, 5); err == nil {
+		t.Error("non-dividing block accepted")
+	}
+	if _, err := BlockLoopRegion(r, 0); err == nil {
+		t.Error("zero block accepted")
+	}
+	cfgR := &Region{Name: "c", Kind: CFGRegion, Segments: []*Segment{{ID: 0}}}
+	if _, err := BlockLoopRegion(cfgR, 2); err == nil {
+		t.Error("CFG region accepted")
+	}
+	exitR := &Region{Name: "e", Kind: LoopRegion, Index: "k", From: 0, To: 11, Step: 1,
+		Segments: []*Segment{{ID: 0, Body: []Stmt{&ExitRegion{Cond: C(0)}}}}}
+	exitR.Finalize()
+	if _, err := BlockLoopRegion(exitR, 2); err == nil {
+		t.Error("early-exit region accepted")
+	}
+	_ = p
+}
+
+func TestBlockProgram(t *testing.T) {
+	p, _ := blockTestRegion(t)
+	bp, err := BlockProgram(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Regions[0].InstanceCount() != 3 {
+		t.Errorf("instances = %d, want 3", bp.Regions[0].InstanceCount())
+	}
+	if len(bp.Vars) != len(p.Vars) {
+		t.Error("variable table should be shared")
+	}
+}

@@ -1,0 +1,214 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Validate checks structural invariants of the program and returns the
+// first violation found. It must pass before analyses or execution run.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for _, v := range p.Vars {
+		if v.Name == "" {
+			return fmt.Errorf("ir: unnamed variable")
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("ir: duplicate variable %q", v.Name)
+		}
+		seen[v.Name] = true
+		for _, d := range v.Dims {
+			if d <= 0 {
+				return fmt.Errorf("ir: variable %q: non-positive dimension %d", v.Name, d)
+			}
+		}
+	}
+	names := make(map[string]bool)
+	for _, r := range p.Regions {
+		if names[r.Name] {
+			return fmt.Errorf("ir: duplicate region %q", r.Name)
+		}
+		names[r.Name] = true
+		if err := p.validateRegion(r); err != nil {
+			return fmt.Errorf("region %q: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateRegion(r *Region) error {
+	if len(r.Segments) == 0 {
+		return fmt.Errorf("ir: no segments")
+	}
+	if len(r.Refs) == 0 {
+		// Finalize not run or empty region; run it so Refs is populated.
+		r.Finalize()
+	}
+	switch r.Kind {
+	case LoopRegion:
+		if len(r.Segments) != 1 {
+			return fmt.Errorf("ir: loop region must have exactly one segment template, has %d", len(r.Segments))
+		}
+		if r.Step == 0 {
+			return fmt.Errorf("ir: loop region step is zero")
+		}
+		if r.Index == "" {
+			return fmt.Errorf("ir: loop region has no index variable")
+		}
+		if r.InstanceCount() == 0 {
+			return fmt.Errorf("ir: loop region %d..%d step %d has zero iterations", r.From, r.To, r.Step)
+		}
+	case CFGRegion:
+		ids := make(map[int]bool)
+		for _, s := range r.Segments {
+			if ids[s.ID] {
+				return fmt.Errorf("ir: duplicate segment id %d", s.ID)
+			}
+			ids[s.ID] = true
+		}
+		for _, s := range r.Segments {
+			for _, succ := range s.Succs {
+				if !ids[succ] {
+					return fmt.Errorf("ir: segment %d: unknown successor %d", s.ID, succ)
+				}
+			}
+			switch {
+			case len(s.Succs) > 2:
+				return fmt.Errorf("ir: segment %d: more than two successors", s.ID)
+			case len(s.Succs) == 2 && s.Branch == nil:
+				return fmt.Errorf("ir: segment %d: two successors but no branch condition", s.ID)
+			case len(s.Succs) < 2 && s.Branch != nil:
+				return fmt.Errorf("ir: segment %d: branch condition with %d successors", s.ID, len(s.Succs))
+			}
+		}
+		if err := checkDAG(r); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ir: unknown region kind %d", r.Kind)
+	}
+	// Check statements and references.
+	for _, s := range r.Segments {
+		if err := p.validateStmts(r, s.Body, map[string]bool{r.Index: r.Kind == LoopRegion}); err != nil {
+			return fmt.Errorf("segment %d: %w", s.ID, err)
+		}
+	}
+	for _, ref := range r.Refs {
+		if ref.Var == nil {
+			return fmt.Errorf("ir: reference #%d has no variable", ref.ID)
+		}
+		if p.Var(ref.Var.Name) != ref.Var {
+			return fmt.Errorf("ir: reference #%d: variable %q not in program table", ref.ID, ref.Var.Name)
+		}
+		if len(ref.Subs) != len(ref.Var.Dims) {
+			return fmt.Errorf("ir: reference #%d: %d subscripts for %d-dimensional %q",
+				ref.ID, len(ref.Subs), len(ref.Var.Dims), ref.Var.Name)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateStmts(r *Region, stmts []Stmt, indices map[string]bool) error {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *Assign:
+			if s.LHS == nil || s.LHS.Access != Write {
+				return fmt.Errorf("ir: assignment LHS must be a write reference")
+			}
+			if err := p.validateExpr(s.RHS, indices); err != nil {
+				return err
+			}
+			for _, sub := range s.LHS.Subs {
+				if err := p.validateExpr(sub, indices); err != nil {
+					return err
+				}
+			}
+		case *If:
+			if err := p.validateExpr(s.Cond, indices); err != nil {
+				return err
+			}
+			if err := p.validateStmts(r, s.Then, indices); err != nil {
+				return err
+			}
+			if err := p.validateStmts(r, s.Else, indices); err != nil {
+				return err
+			}
+		case *For:
+			if s.Step == 0 {
+				return fmt.Errorf("ir: inner loop %q has zero step", s.Index)
+			}
+			if s.Index == "" {
+				return fmt.Errorf("ir: inner loop without index name")
+			}
+			if (LoopInfo{From: s.From, To: s.To, Step: s.Step}).Trips() == 0 {
+				return fmt.Errorf("ir: inner loop %q executes zero iterations", s.Index)
+			}
+			if indices[s.Index] {
+				return fmt.Errorf("ir: inner loop index %q shadows an enclosing index", s.Index)
+			}
+			inner := make(map[string]bool, len(indices)+1)
+			for k, v := range indices {
+				inner[k] = v
+			}
+			inner[s.Index] = true
+			if err := p.validateStmts(r, s.Body, inner); err != nil {
+				return err
+			}
+		case *ExitRegion:
+			if err := p.validateExpr(s.Cond, indices); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ir: unknown statement %T", st)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateExpr(e Expr, indices map[string]bool) error {
+	if e == nil {
+		return fmt.Errorf("ir: nil expression")
+	}
+	switch x := e.(type) {
+	case *Const:
+		return nil
+	case *Index:
+		if !indices[x.Name] {
+			return fmt.Errorf("ir: unknown loop index %q", x.Name)
+		}
+		return nil
+	case *Load:
+		if x.Ref == nil || x.Ref.Access != Read {
+			return fmt.Errorf("ir: load must wrap a read reference")
+		}
+		for _, sub := range x.Ref.Subs {
+			if err := p.validateExpr(sub, indices); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Bin:
+		if err := p.validateExpr(x.L, indices); err != nil {
+			return err
+		}
+		return p.validateExpr(x.R, indices)
+	}
+	return fmt.Errorf("ir: unknown expression %T", e)
+}
+
+// checkDAG verifies the CFG region's segment graph is acyclic and that age
+// (declaration) order is a valid topological order, i.e. every edge goes
+// from an older to a younger segment, matching sequential program order.
+func checkDAG(r *Region) error {
+	pos := make(map[int]int, len(r.Segments))
+	for i, s := range r.Segments {
+		pos[s.ID] = i
+	}
+	for _, s := range r.Segments {
+		for _, succ := range s.Succs {
+			if pos[succ] <= pos[s.ID] {
+				return fmt.Errorf("ir: edge %d->%d violates age order (segments must be declared oldest first)", s.ID, succ)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package lang implements the mini loop language in which workloads and
+// examples are written: a Fortran-flavoured notation for programs made of
+// counted-loop regions (iterations = segments) and explicit CFG regions.
+// The parser produces ir.Program values directly; ir.Program.Format emits
+// text this parser accepts, and round-trip tests keep the two in sync.
+//
+// Grammar (EBNF):
+//
+//	program  = "program" ident { decl } { region } .
+//	decl     = "var" ident [ "[" int { "," int } "]" ] .
+//	region   = "region" ident ( loopHead | "cfg" ) "{" { ann } body "}" .
+//	loopHead = "loop" ident "=" range .
+//	range    = int ( "to" | "downto" ) int [ "step" int ] .
+//	ann      = ( "private" | "liveout" ) ident { "," ident } .
+//	body     = { stmt }            (loop region)
+//	         | { segment }         (cfg region) .
+//	segment  = "segment" ident "{" { stmt } "}"
+//	           [ "goto" ident [ "if" expr "else" ident ] ] .
+//	stmt     = lvalue "=" expr
+//	         | "if" expr "{" { stmt } "}" [ "else" "{" { stmt } "}" ]
+//	         | "for" ident "=" range "{" { stmt } "}"
+//	         | "exit" "if" expr .
+//	lvalue   = ident [ "[" expr { "," expr } "]" ] .
+//
+// Expressions use Go-like precedence: ||, &&, comparisons, additive,
+// multiplicative, unary minus, primary.
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // single/double character operators and delimiters
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer scans the source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	t := token{line: lx.line, col: lx.col}
+	if lx.pos >= len(lx.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isIdentChar(lx.src[lx.pos])) {
+			lx.advance()
+		}
+		t.kind = tokIdent
+		t.text = lx.src[start:lx.pos]
+		return t, nil
+	case c >= '0' && c <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.advance()
+		}
+		t.kind = tokInt
+		var v int64
+		for _, d := range lx.src[start:lx.pos] {
+			v = v*10 + int64(d-'0')
+		}
+		t.val = v
+		t.text = lx.src[start:lx.pos]
+		return t, nil
+	default:
+		if lx.pos+1 < len(lx.src) {
+			two := lx.src[lx.pos : lx.pos+2]
+			if twoCharOps[two] {
+				lx.advance()
+				lx.advance()
+				t.kind = tokPunct
+				t.text = two
+				return t, nil
+			}
+		}
+		switch c {
+		case '=', '+', '-', '*', '/', '%', '<', '>', '(', ')', '{', '}', '[', ']', ',':
+			lx.advance()
+			t.kind = tokPunct
+			t.text = string(c)
+			return t, nil
+		}
+		return t, fmt.Errorf("%d:%d: unexpected character %q", lx.line, lx.col, string(c))
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (lx *lexer) advance() {
+	if lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+// skipSpace consumes whitespace and '#' line comments.
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.advance()
+			continue
+		}
+		return
+	}
+}

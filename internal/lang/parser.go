@@ -1,0 +1,635 @@
+package lang
+
+import (
+	"fmt"
+
+	"refidem/internal/ir"
+)
+
+// Parse compiles mini-language source text into a validated ir.Program.
+func Parse(src string) (*ir.Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good embedded sources (workloads); it
+// panics on error.
+func MustParse(src string) *ir.Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang: %v", err))
+	}
+	return p
+}
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	prog *ir.Program
+	// loop index scope while parsing statements.
+	indices map[string]bool
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a punctuation or keyword token with the given text.
+func (p *parser) expect(text string) error {
+	if p.tok.text != text {
+		return p.errf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) ident() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// integer parses an optionally negated integer literal.
+func (p *parser) integer() (int64, error) {
+	neg := false
+	if p.tok.text == "-" {
+		neg = true
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.kind != tokInt {
+		return 0, p.errf("expected integer, found %s", p.tok)
+	}
+	v := p.tok.val
+	if neg {
+		v = -v
+	}
+	return v, p.advance()
+}
+
+func (p *parser) program() (*ir.Program, error) {
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.prog = ir.NewProgram(name)
+	for p.tok.text == "var" {
+		if err := p.varDecl(); err != nil {
+			return nil, err
+		}
+	}
+	for p.tok.text == "region" {
+		if err := p.region(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s at top level", p.tok)
+	}
+	return p.prog, nil
+}
+
+func (p *parser) varDecl() error {
+	if err := p.expect("var"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	var dims []int
+	if p.tok.text == "[" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for {
+			d, err := p.integer()
+			if err != nil {
+				return err
+			}
+			if d <= 0 {
+				return p.errf("dimension of %q must be positive", name)
+			}
+			dims = append(dims, int(d))
+			if p.tok.text != "," {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+	}
+	if p.prog.Var(name) != nil {
+		return p.errf("variable %q redeclared", name)
+	}
+	p.prog.AddVar(name, dims...)
+	return nil
+}
+
+// parseRange parses "<int> to|downto <int> [step <int>]" and returns
+// from, to, step.
+func (p *parser) parseRange() (int, int, int, error) {
+	from, err := p.integer()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	down := false
+	switch p.tok.text {
+	case "to":
+	case "downto":
+		down = true
+	default:
+		return 0, 0, 0, p.errf("expected 'to' or 'downto', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return 0, 0, 0, err
+	}
+	to, err := p.integer()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	step := 1
+	if p.tok.text == "step" {
+		if err := p.advance(); err != nil {
+			return 0, 0, 0, err
+		}
+		s, err := p.integer()
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if s <= 0 {
+			return 0, 0, 0, p.errf("step must be positive (direction comes from to/downto)")
+		}
+		step = int(s)
+	}
+	if down {
+		step = -step
+	}
+	return int(from), int(to), step, nil
+}
+
+func (p *parser) region() error {
+	if err := p.expect("region"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	r := &ir.Region{Name: name}
+	switch p.tok.text {
+	case "loop":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		r.Kind = ir.LoopRegion
+		idx, err := p.ident()
+		if err != nil {
+			return err
+		}
+		r.Index = idx
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		r.From, r.To, r.Step, err = p.parseRange()
+		if err != nil {
+			return err
+		}
+	case "cfg":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		r.Kind = ir.CFGRegion
+	default:
+		return p.errf("expected 'loop' or 'cfg', found %s", p.tok)
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for p.tok.text == "private" || p.tok.text == "liveout" {
+		if err := p.annotation(r); err != nil {
+			return err
+		}
+	}
+	if r.Kind == ir.LoopRegion {
+		p.indices = map[string]bool{r.Index: true}
+		body, err := p.stmts()
+		if err != nil {
+			return err
+		}
+		r.Segments = []*ir.Segment{{ID: 0, Name: "iter", Body: body}}
+	} else {
+		p.indices = map[string]bool{}
+		if err := p.segments(r); err != nil {
+			return err
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return err
+	}
+	r.Finalize()
+	p.prog.AddRegion(r)
+	return nil
+}
+
+func (p *parser) annotation(r *ir.Region) error {
+	kind := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if p.prog.Var(name) == nil {
+			return p.errf("%s names unknown variable %q", kind, name)
+		}
+		if kind == "private" {
+			if r.Ann.Private == nil {
+				r.Ann.Private = map[string]bool{}
+			}
+			r.Ann.Private[name] = true
+		} else {
+			if r.Ann.LiveOut == nil {
+				r.Ann.LiveOut = map[string]bool{}
+			}
+			r.Ann.LiveOut[name] = true
+		}
+		if p.tok.text != "," {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+// segments parses CFG-region segments, resolving goto targets by name
+// after all segments are known.
+func (p *parser) segments(r *ir.Region) error {
+	type pendingGoto struct {
+		seg    *ir.Segment
+		then   string
+		els    string
+		brExpr ir.Expr
+		line   int
+		col    int
+	}
+	var pend []pendingGoto
+	names := map[string]*ir.Segment{}
+	id := 0
+	for p.tok.text == "segment" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if names[name] != nil {
+			return p.errf("segment %q redeclared", name)
+		}
+		if err := p.expect("{"); err != nil {
+			return err
+		}
+		body, err := p.stmts()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("}"); err != nil {
+			return err
+		}
+		seg := &ir.Segment{ID: id, Name: name, Body: body}
+		id++
+		names[name] = seg
+		r.Segments = append(r.Segments, seg)
+		if p.tok.text == "goto" {
+			line, col := p.tok.line, p.tok.col
+			if err := p.advance(); err != nil {
+				return err
+			}
+			first, err := p.ident()
+			if err != nil {
+				return err
+			}
+			pg := pendingGoto{seg: seg, then: first, line: line, col: col}
+			if p.tok.text == "if" {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				pg.brExpr, err = p.expr()
+				if err != nil {
+					return err
+				}
+				if err := p.expect("else"); err != nil {
+					return err
+				}
+				pg.els, err = p.ident()
+				if err != nil {
+					return err
+				}
+			}
+			pend = append(pend, pg)
+		}
+	}
+	for _, pg := range pend {
+		t, ok := names[pg.then]
+		if !ok {
+			return fmt.Errorf("%d:%d: goto to unknown segment %q", pg.line, pg.col, pg.then)
+		}
+		pg.seg.Succs = []int{t.ID}
+		if pg.els != "" {
+			e, ok := names[pg.els]
+			if !ok {
+				return fmt.Errorf("%d:%d: goto to unknown segment %q", pg.line, pg.col, pg.els)
+			}
+			pg.seg.Succs = append(pg.seg.Succs, e.ID)
+			pg.seg.Branch = pg.brExpr
+		}
+	}
+	return nil
+}
+
+func (p *parser) stmts() ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for {
+		switch p.tok.text {
+		case "if":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			then, err := p.stmts()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			st := &ir.If{Cond: cond, Then: then}
+			if p.tok.text == "else" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expect("{"); err != nil {
+					return nil, err
+				}
+				st.Else, err = p.stmts()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("}"); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, st)
+		case "for":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if p.indices[idx] {
+				return nil, p.errf("loop index %q shadows an enclosing index", idx)
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			from, to, step, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			p.indices[idx] = true
+			body, err := p.stmts()
+			p.indices[idx] = false
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+			out = append(out, &ir.For{Index: idx, From: from, To: to, Step: step, Body: body})
+		case "exit":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect("if"); err != nil {
+				return nil, err
+			}
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &ir.ExitRegion{Cond: cond})
+		default:
+			if p.tok.kind != tokIdent {
+				return out, nil
+			}
+			st, err := p.assign()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		}
+	}
+}
+
+func (p *parser) assign() (ir.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	v := p.prog.Var(name)
+	if v == nil {
+		return nil, p.errf("assignment to undeclared variable %q", name)
+	}
+	var subs []ir.Expr
+	if p.tok.text == "[" {
+		subs, err = p.subscripts()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(subs) != len(v.Dims) {
+		return nil, p.errf("%q has %d dimensions, got %d subscripts", name, len(v.Dims), len(subs))
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Assign{LHS: ir.Wr(v, subs...), RHS: rhs}, nil
+}
+
+func (p *parser) subscripts() ([]ir.Expr, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var subs []ir.Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, e)
+		if p.tok.text != "," {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+var binOps = map[string]ir.BinOp{
+	"||": ir.Or, "&&": ir.And,
+	"==": ir.Eq, "!=": ir.Ne, "<": ir.Lt, "<=": ir.Le, ">": ir.Gt, ">=": ir.Ge,
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+}
+
+func (p *parser) expr() (ir.Expr, error) {
+	return p.binExpr(1)
+}
+
+func (p *parser) binExpr(minPrec int) (ir.Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPunct {
+		prec, ok := binPrec[p.tok.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		op := binOps[p.tok.text]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = ir.Op(op, lhs, rhs)
+	}
+	return lhs, nil
+}
+
+func (p *parser) unary() (ir.Expr, error) {
+	if p.tok.text == "-" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := e.(*ir.Const); ok {
+			return ir.C(-c.Val), nil
+		}
+		return ir.SubE(ir.C(0), e), nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (ir.Expr, error) {
+	switch {
+	case p.tok.kind == tokInt:
+		v := p.tok.val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return ir.C(v), nil
+	case p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.indices[name] {
+			return ir.Idx(name), nil
+		}
+		v := p.prog.Var(name)
+		if v == nil {
+			return nil, p.errf("unknown identifier %q (not a variable or loop index)", name)
+		}
+		var subs []ir.Expr
+		if p.tok.text == "[" {
+			var err error
+			subs, err = p.subscripts()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(subs) != len(v.Dims) {
+			return nil, p.errf("%q has %d dimensions, got %d subscripts", name, len(v.Dims), len(subs))
+		}
+		return ir.Rd(v, subs...), nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}

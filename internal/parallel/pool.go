@@ -1,0 +1,68 @@
+// Package parallel provides the bounded worker pool the experiment
+// harness uses to fan simulator runs out across host cores. Results are
+// collected in submission order, so experiment output stays deterministic
+// regardless of scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). It blocks until all calls complete.
+// The first panic, if any, is re-raised on the caller's goroutine.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int
+		mu       sync.Mutex
+		panicked any
+		once     sync.Once
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							once.Do(func() { panicked = r })
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map applies fn to each index and returns the results in order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

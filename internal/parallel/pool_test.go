@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var n int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&n, 1) })
+	if n != 100 {
+		t.Errorf("ran %d, want 100", n)
+	}
+}
+
+func TestForEachZero(t *testing.T) {
+	ForEach(0, 4, func(i int) { t.Error("should not run") })
+	ForEach(-3, 4, func(i int) { t.Error("should not run") })
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var n int64
+	ForEach(10, 0, func(i int) { atomic.AddInt64(&n, 1) })
+	if n != 10 {
+		t.Errorf("ran %d", n)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(50, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic should propagate")
+		}
+	}()
+	ForEach(10, 4, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package proptest
+
+// Trace oracles: on the restricted affine/straight-line program shape
+// (testutil.AffineLoopProgram), the Definition 5 RFW condition and the
+// labeling soundness can be checked against an exact enumeration of the
+// region's execution trace.
+
+import (
+	"testing"
+
+	"refidem/internal/engine"
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/testutil"
+)
+
+// traceEvent is one executed reference instance.
+type traceEvent struct {
+	ref   *ir.Ref
+	addr  int64 // variable base (by identity) not needed: (var, idx) key below
+	write bool
+}
+
+// key identifies a storage location: the variable plus the linear index.
+type locKey struct {
+	v   *ir.Var
+	idx int64
+}
+
+// iterationTraces enumerates per-iteration reference traces for an
+// affine straight-line loop region.
+func iterationTraces(t *testing.T, r *ir.Region) [][]struct {
+	loc   locKey
+	write bool
+	ref   *ir.Ref
+} {
+	t.Helper()
+	type ev = struct {
+		loc   locKey
+		write bool
+		ref   *ir.Ref
+	}
+	evalAffine := func(e ir.Expr, env map[string]int64) int64 {
+		a, ok := ir.AffineOf(e)
+		if !ok {
+			t.Fatalf("non-affine subscript %s", e)
+		}
+		v := a.Const
+		for name, c := range a.Coeff {
+			v += c * env[name]
+		}
+		return v
+	}
+	var out [][]ev
+	for _, idxVal := range r.IndexValues() {
+		var trace []ev
+		env := map[string]int64{r.Index: idxVal}
+		var walk func(stmts []ir.Stmt)
+		emit := func(ref *ir.Ref, write bool) {
+			var idx int64
+			if len(ref.Subs) > 0 {
+				idx = evalAffine(ref.Subs[0], env)
+			}
+			trace = append(trace, ev{loc: locKey{v: ref.Var, idx: idx}, write: write, ref: ref})
+		}
+		walk = func(stmts []ir.Stmt) {
+			for _, st := range stmts {
+				switch s := st.(type) {
+				case *ir.Assign:
+					for _, ref := range ir.ExprRefs(s.RHS) {
+						emit(ref, false)
+					}
+					emit(s.LHS, true)
+				case *ir.For:
+					trips := ir.LoopInfo{From: s.From, To: s.To, Step: s.Step}.Trips()
+					for i := 0; i < trips; i++ {
+						env[s.Index] = int64(s.From + i*s.Step)
+						walk(s.Body)
+					}
+					delete(env, s.Index)
+				default:
+					t.Fatalf("oracle does not support %T", st)
+				}
+			}
+		}
+		walk(r.Segments[0].Body)
+		out = append(out, trace)
+	}
+	return out
+}
+
+// TestRFWDefinition5Oracle: every write the analysis marks as a
+// re-occurring first write must satisfy the Definition 5 path condition,
+// checked by exhaustive trace enumeration: for every instance of the
+// write and every possible rollback restart point, the first access to
+// the written location in the re-executed suffix must be a write; if the
+// location is never touched again it must be dead (not live-out).
+func TestRFWDefinition5Oracle(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		p := testutil.AffineLoopProgram(seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := p.Regions[0]
+		lab := idem.LabelRegion(p, r, nil)
+		traces := iterationTraces(t, r)
+		n := len(traces)
+		for _, w := range r.Refs {
+			if w.Access != ir.Write || !lab.RFW.IsRFW[w] {
+				continue
+			}
+			// Collect the write's dynamic instances: (iteration, loc).
+			for i := 0; i < n; i++ {
+				for _, e := range traces[i] {
+					if e.ref != w {
+						continue
+					}
+					// Rollback restart points: iteration 1..i (rollback to
+					// the end of any ancestor of iteration i).
+					for restart := 1; restart <= i; restart++ {
+						verdict := scanSuffix(traces, restart, e.loc)
+						switch verdict {
+						case "read-first":
+							t.Fatalf("seed %d: %v marked RFW, but restarting at iteration %d reads %v[%d] before rewriting it\n%s",
+								seed, w, restart, e.loc.v.Name, e.loc.idx, p.Format())
+						case "untouched":
+							if lab.Info.LiveOut[e.loc.v] {
+								t.Fatalf("seed %d: %v marked RFW, but restarting at iteration %d never rewrites live-out %v[%d]\n%s",
+									seed, w, restart, e.loc.v.Name, e.loc.idx, p.Format())
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanSuffix reports what happens first to loc when iterations
+// restart..N-1 re-execute: "write-first", "read-first" or "untouched".
+func scanSuffix(traces [][]struct {
+	loc   locKey
+	write bool
+	ref   *ir.Ref
+}, restart int, loc locKey) string {
+	for i := restart; i < len(traces); i++ {
+		for _, e := range traces[i] {
+			if e.loc == loc {
+				if e.write {
+					return "write-first"
+				}
+				return "read-first"
+			}
+		}
+	}
+	return "untouched"
+}
+
+// TestAffineOracleProgramsExecuteCorrectly pushes the oracle corpus
+// through both engines as an extra end-to-end check.
+func TestAffineOracleProgramsExecuteCorrectly(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < 100; seed++ {
+		p := testutil.AffineLoopProgram(seed)
+		labs := idem.LabelProgram(p)
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, mode := range []engine.Mode{engine.HOSE, engine.CASE} {
+			res, err := engine.RunSpeculative(p, labs, cfg, mode)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, mode, err)
+			}
+			if err := engine.LiveOutMismatch(p, labs, seq, res); err != nil {
+				t.Errorf("seed %d %v: %v\n%s", seed, mode, err, p.Format())
+			}
+		}
+	}
+}
+
+// TestMultiRegionPrograms: the lemmas hold across multi-region programs,
+// where memory carries between regions and live-out sets come from the
+// inter-region liveness pass.
+func TestMultiRegionPrograms(t *testing.T) {
+	gc := testutil.DefaultGen()
+	gc.Regions = 3
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < 100; seed++ {
+		p := testutil.Program(seed, gc)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(p.Regions) != 3 {
+			t.Fatalf("seed %d: %d regions", seed, len(p.Regions))
+		}
+		labs := idem.LabelProgram(p)
+		for _, res := range labs {
+			if errs := res.CheckTheorems(); len(errs) > 0 {
+				t.Fatalf("seed %d: %v", seed, errs)
+			}
+		}
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, mode := range []engine.Mode{engine.HOSE, engine.CASE} {
+			res, err := engine.RunSpeculative(p, labs, cfg, mode)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, mode, err)
+			}
+			if err := engine.LiveOutMismatch(p, labs, seq, res); err != nil {
+				t.Errorf("seed %d %v: %v\n%s", seed, mode, err, p.Format())
+			}
+		}
+	}
+}
+
+// TestBlockedProgramsStayCorrect: re-blocking segments (the granularity
+// transform) preserves program semantics under all three models.
+func TestBlockedProgramsStayCorrect(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < 60; seed++ {
+		p := testutil.AffineLoopProgram(seed)
+		n := p.Regions[0].InstanceCount()
+		for _, block := range []int{1, 2, 3} {
+			if n%block != 0 {
+				continue
+			}
+			bp, err := ir.BlockProgram(p, block)
+			if err != nil {
+				t.Fatalf("seed %d block %d: %v", seed, block, err)
+			}
+			if err := bp.Validate(); err != nil {
+				t.Fatalf("seed %d block %d: %v", seed, block, err)
+			}
+			labs := idem.LabelProgram(bp)
+			seq, err := engine.RunSequential(bp, cfg)
+			if err != nil {
+				t.Fatalf("seed %d block %d: %v", seed, block, err)
+			}
+			// The blocked program must compute the same live-out values
+			// as the original sequential program.
+			origSeq, err := engine.RunSequential(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origLabs := idem.LabelProgram(p)
+			if err := engine.LiveOutMismatch(p, origLabs, origSeq, seq); err != nil {
+				t.Errorf("seed %d block %d: blocking changed semantics: %v", seed, block, err)
+			}
+			for _, mode := range []engine.Mode{engine.HOSE, engine.CASE} {
+				res, err := engine.RunSpeculative(bp, labs, cfg, mode)
+				if err != nil {
+					t.Fatalf("seed %d block %d %v: %v", seed, block, mode, err)
+				}
+				if err := engine.LiveOutMismatch(bp, labs, seq, res); err != nil {
+					t.Errorf("seed %d block %d %v: %v", seed, block, mode, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package proptest holds the cross-cutting property-based tests: hundreds
+// of seeded random programs are pushed through the full pipeline and both
+// execution engines, validating the paper's lemmas end to end.
+package proptest
+
+import (
+	"testing"
+
+	"refidem/internal/cfg"
+	"refidem/internal/dataflow"
+	"refidem/internal/engine"
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/testutil"
+)
+
+const seeds = 150
+
+func genValid(t *testing.T, seed int64) *ir.Program {
+	t.Helper()
+	p := testutil.Program(seed, testutil.DefaultGen())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("seed %d: generated program invalid: %v", seed, err)
+	}
+	return p
+}
+
+// TestGeneratedProgramsValidate is the generator's own sanity property.
+func TestGeneratedProgramsValidate(t *testing.T) {
+	for seed := int64(0); seed < seeds*2; seed++ {
+		genValid(t, seed)
+	}
+}
+
+// TestLemma1HOSEMatchesSequential: for random programs, hardware-only
+// speculative execution produces the sequential memory state (live-out
+// variables), per Lemma 1.
+func TestLemma1HOSEMatchesSequential(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		hose, err := engine.RunSpeculative(p, labs, cfg, engine.HOSE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := engine.LiveOutMismatch(p, labs, seq, hose); err != nil {
+			t.Errorf("seed %d: Lemma 1 violated: %v\n%s", seed, err, p.Format())
+		}
+	}
+}
+
+// TestLemma2CASEMatchesSequential: with Algorithm 2 labels, compiler-
+// assisted speculative execution also produces the sequential state, per
+// Lemma 2 — even though idempotent references bypass all dependence
+// tracking and may write temporarily incorrect values.
+func TestLemma2CASEMatchesSequential(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		caseR, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := engine.LiveOutMismatch(p, labs, seq, caseR); err != nil {
+			t.Errorf("seed %d: Lemma 2 violated: %v\n%s", seed, err, p.Format())
+		}
+	}
+}
+
+// TestLemma2UnderPressure re-runs the CASE-vs-sequential property with a
+// tiny speculative storage and a single-entry commit cost, exercising the
+// overflow/stall/bypass paths hard.
+func TestLemma2UnderPressure(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	cfg.SpecCapacity = 3
+	cfg.Processors = 3
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, mode := range []engine.Mode{engine.HOSE, engine.CASE} {
+			res, err := engine.RunSpeculative(p, labs, cfg, mode)
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, mode, err)
+			}
+			if err := engine.LiveOutMismatch(p, labs, seq, res); err != nil {
+				t.Errorf("seed %d %v: %v\n%s", seed, mode, err, p.Format())
+			}
+		}
+	}
+}
+
+// TestLabelsSatisfyTheorems: Algorithm 2's output always agrees with the
+// independent Theorem 1/2 oracle.
+func TestLabelsSatisfyTheorems(t *testing.T) {
+	for seed := int64(0); seed < seeds*2; seed++ {
+		p := genValid(t, seed)
+		for _, res := range idem.LabelProgram(p) {
+			if errs := res.CheckTheorems(); len(errs) > 0 {
+				t.Errorf("seed %d: %v\n%s", seed, errs, p.Format())
+			}
+		}
+	}
+}
+
+// TestCASEOccupancyBound: removing idempotent references from speculative
+// storage can only shrink peak occupancy.
+func TestCASEOccupancyBound(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		hose, err := engine.RunSpeculative(p, labs, cfg, engine.HOSE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		caseR, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if caseR.Stats.PeakSpecOccupancy > hose.Stats.PeakSpecOccupancy {
+			t.Errorf("seed %d: CASE peak %d > HOSE peak %d", seed,
+				caseR.Stats.PeakSpecOccupancy, hose.Stats.PeakSpecOccupancy)
+		}
+	}
+}
+
+// TestRFWPathOracle re-validates Algorithm 1 on random CFG regions with an
+// independent implementation: a write to x in segment s is a re-occurring
+// first write only if, from every node that reaches s (a potential
+// rollback origin), every path to the region exit encounters a
+// must-write of x before any exposed read (with the exit counting as a
+// read when x is live-out).
+func TestRFWPathOracle(t *testing.T) {
+	gc := testutil.DefaultGen()
+	gc.AllowCFG = true
+	for seed := int64(0); seed < seeds*2; seed++ {
+		p := testutil.Program(seed, gc)
+		r := p.Regions[0]
+		if r.Kind != ir.CFGRegion {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := cfg.FromRegion(r)
+		lab := idem.LabelRegion(p, r, nil)
+		for _, ref := range r.Refs {
+			if ref.Access != ir.Write || !lab.RFW.IsRFW[ref] {
+				continue
+			}
+			if !pathOracleRFW(r, g, lab.Info, ref) {
+				t.Errorf("seed %d: %v declared RFW but the path oracle disagrees\n%s",
+					seed, ref, p.Format())
+			}
+		}
+	}
+}
+
+// pathOracleRFW checks the Definition 5 path condition by explicit
+// enumeration.
+func pathOracleRFW(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, w *ir.Ref) bool {
+	if !ir.AddrCertain(w) {
+		return false
+	}
+	attr := func(seg int) dataflow.Attr {
+		if seg == cfg.Exit {
+			if info.LiveOut[w.Var] {
+				return dataflow.ReadAttr
+			}
+			return dataflow.NullAttr
+		}
+		return info.Attrs[seg][w.Var]
+	}
+	for _, u := range g.Nodes {
+		if u == w.SegID || !g.Reaches(u, w.SegID) {
+			continue
+		}
+		// Every path from u's end to the exit must hit a must-write
+		// before an exposed read.
+		for _, path := range g.Paths(u, 4096) {
+			// path starts at u; skip u itself (rollback lands at its
+			// end).
+			bad := false
+			decided := false
+			for _, node := range path[1:] {
+				switch attr(node) {
+				case dataflow.WriteAttr:
+					decided = true
+				case dataflow.ReadAttr:
+					bad = true
+					decided = true
+				}
+				if decided {
+					break
+				}
+			}
+			if !decided && info.LiveOut[w.Var] {
+				bad = true // falls off the exit with x live and unwritten
+			}
+			if bad {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestDeterministicEngine: identical runs give identical cycle counts and
+// stats.
+func TestDeterministicEngine(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		a, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Cycles != b.Cycles || a.Stats != b.Stats {
+			t.Errorf("seed %d: nondeterminism", seed)
+		}
+	}
+}
+
+// TestFractionConsistency: the dynamic idempotent fraction equals the sum
+// of the per-category counts.
+func TestFractionConsistency(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	for seed := int64(0); seed < seeds; seed++ {
+		p := genValid(t, seed)
+		labs := idem.LabelProgram(p)
+		res, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var catSum int64
+		for c, n := range res.Stats.RefsByCategory {
+			if idem.Category(c) != idem.CatSpeculative {
+				catSum += n
+			}
+		}
+		if catSum != res.Stats.IdemRefs {
+			t.Errorf("seed %d: category sum %d != idempotent refs %d", seed, catSum, res.Stats.IdemRefs)
+		}
+		if res.Stats.IdemRefs > res.Stats.DynRefs {
+			t.Errorf("seed %d: idem %d > total %d", seed, res.Stats.IdemRefs, res.Stats.DynRefs)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results as fixed-width text tables
+// and horizontal bar charts, the form in which cmd/figures regenerates
+// the paper's figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		cells = cells[:len(t.Headers)]
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v unless it is a float64, which is rendered with two decimals.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch x := c.(type) {
+		case float64:
+			out = append(out, fmt.Sprintf("%.2f", x))
+		default:
+			out = append(out, fmt.Sprint(x))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Bar renders a labeled horizontal bar of the given fractional value
+// (0..max) scaled to width characters, e.g.:
+//
+//	TOMCATV  |##########################------| 81.2%
+func Bar(label string, value, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	frac := value / max
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(frac*float64(width) + 0.5)
+	return fmt.Sprintf("%-12s |%s%s| %5.1f%%",
+		label, strings.Repeat("#", fill), strings.Repeat("-", width-fill), value*100)
+}
+
+// StackedBar renders segments (label ordering preserved) as a stacked bar
+// using one rune per segment type, e.g. read-only '#', private '+',
+// shared-dependent '*'.
+func StackedBar(label string, parts []float64, runes []rune, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s |", label)
+	used := 0
+	var total float64
+	for i, p := range parts {
+		total += p
+		n := int(p / max * float64(width))
+		if used+n > width {
+			n = width - used
+		}
+		b.WriteString(strings.Repeat(string(runes[i%len(runes)]), n))
+		used += n
+	}
+	b.WriteString(strings.Repeat("-", width-used))
+	fmt.Fprintf(&b, "| %5.1f%%", total*100)
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	s := tb.String()
+	for _, want := range []string{"My Title", "name", "alpha", "2.50", "----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestTableRowTruncation(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra")
+	if len(tb.Rows[0]) != 1 {
+		t.Error("extra cells should be dropped")
+	}
+}
+
+func TestBar(t *testing.T) {
+	s := Bar("X", 0.5, 1, 10)
+	if !strings.Contains(s, "#####-----") || !strings.Contains(s, "50.0%") {
+		t.Errorf("bar = %q", s)
+	}
+	// Clamping.
+	if s := Bar("X", 2, 1, 10); !strings.Contains(s, "##########") {
+		t.Errorf("overflow bar = %q", s)
+	}
+	if s := Bar("X", -1, 1, 10); !strings.Contains(s, "----------") {
+		t.Errorf("negative bar = %q", s)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	s := StackedBar("X", []float64{0.3, 0.2}, []rune{'#', '+'}, 1, 10)
+	if !strings.Contains(s, "###++") {
+		t.Errorf("stacked = %q", s)
+	}
+	if !strings.Contains(s, "50.0%") {
+		t.Errorf("stacked total = %q", s)
+	}
+}

@@ -1,0 +1,291 @@
+// Package rfw implements the re-occurring-first-write analysis of the
+// paper: Definition 5 and Algorithm 1.
+//
+// A write reference to x in segment Ri is a RFW if, following any rollback
+// of Ri, a live x is guaranteed to be written before the end of the
+// enclosing region without a preceding read reference. The RFW property is
+// what lets a write be labeled idempotent even though it may store a
+// temporarily incorrect value during misspeculation: the value is
+// guaranteed to be corrected before any final execution consumes it.
+//
+// Two implementations cover the two region shapes:
+//
+//   - CFG regions use Algorithm 1 verbatim: per-variable node coloring
+//     (White/Black) over the segment graph with the Write/Read/Null
+//     attributes from the dataflow package, a breadth-first search, and
+//     recursive blackening of the successors of any node that reaches an
+//     exposed read through Null nodes.
+//
+//   - Loop regions use the location-wise specialization of the same path
+//     condition on the iteration-chain segment graph: a write is a RFW iff
+//     its address is certain (affine in non-speculative loop indices), it
+//     executes on every path through the segment, the region has no early
+//     exit, and no read of the same location executes before it — either
+//     earlier in the same iteration (an intra-segment anti dependence with
+//     the write as sink) or in an older iteration (a cross-segment anti
+//     dependence with the write as sink, which would be re-executed
+//     between the rollback point and the re-occurring write).
+package rfw
+
+import (
+	"refidem/internal/cfg"
+	"refidem/internal/dataflow"
+	"refidem/internal/deps"
+	"refidem/internal/ir"
+)
+
+// Color is the node color of Algorithm 1.
+type Color uint8
+
+const (
+	// White marks nodes whose write references to the variable are RFW.
+	White Color = iota
+	// Black marks nodes whose write references are not RFW.
+	Black
+)
+
+func (c Color) String() string {
+	if c == White {
+		return "White"
+	}
+	return "Black"
+}
+
+// Result carries the RFW classification of a region's write references.
+type Result struct {
+	// IsRFW maps every write reference to its RFW status.
+	IsRFW map[*ir.Ref]bool
+	// Colors holds, for CFG regions, the per-variable final node colors
+	// (segment ID → color), matching Figure 3 of the paper. Nil for loop
+	// regions.
+	Colors map[*ir.Var]map[int]Color
+}
+
+// Analyze computes the RFW set of the region. The dataflow info and
+// dependence analysis must belong to the same region.
+func Analyze(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis) *Result {
+	if r.Kind == ir.CFGRegion {
+		return analyzeCFG(r, g, info)
+	}
+	return analyzeLoop(r, da)
+}
+
+// analyzeCFG is Algorithm 1.
+func analyzeCFG(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo) *Result {
+	res := &Result{
+		IsRFW:  make(map[*ir.Ref]bool),
+		Colors: make(map[*ir.Var]map[int]Color),
+	}
+	for _, v := range r.RegionVars() {
+		colors := colorVariable(r, g, info, v)
+		res.Colors[v] = colors
+		for _, ref := range r.VarRefs(v) {
+			if ref.Access != ir.Write {
+				continue
+			}
+			// The paper's algorithm assumes the compiler can prove the
+			// reference re-executes to the same address; references like
+			// K(E) are excluded ("not guaranteed to access the same
+			// address").
+			res.IsRFW[ref] = colors[ref.SegID] == White && ir.AddrCertain(ref)
+		}
+	}
+	return res
+}
+
+// colorVariable runs the coloring of Algorithm 1 for one variable.
+func colorVariable(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, v *ir.Var) map[int]Color {
+	// Step 1: attributes. v_exit is Read iff v is live out of R.
+	attr := make(map[int]dataflow.Attr, len(r.Segments)+1)
+	for _, seg := range r.Segments {
+		attr[seg.ID] = info.Attrs[seg.ID][v] // zero value NullAttr when absent
+	}
+	if info.LiveOut[v] {
+		attr[cfg.Exit] = dataflow.ReadAttr
+	} else {
+		attr[cfg.Exit] = dataflow.NullAttr
+	}
+
+	colors := make(map[int]Color, len(r.Segments))
+	for _, seg := range r.Segments {
+		colors[seg.ID] = White
+	}
+
+	// Step 2: breadth-first search; blacken successors of any White node
+	// that reaches a Read node through zero or more Null nodes.
+	g.BFS(func(n int) {
+		if colors[n] != White {
+			return
+		}
+		if reachesReadThroughNulls(g, attr, n) {
+			blackenDescendants(g, colors, n)
+		}
+	})
+	return colors
+}
+
+// reachesReadThroughNulls reports whether some path starting at the
+// successors of n reaches a Read-attributed node traversing only
+// Null-attributed nodes. Write-attributed nodes block the search: on any
+// path through them the variable is rewritten before it can be read.
+func reachesReadThroughNulls(g *cfg.Graph, attr map[int]dataflow.Attr, n int) bool {
+	seen := make(map[int]bool)
+	work := append([]int(nil), g.Succs(n)...)
+	for len(work) > 0 {
+		m := work[0]
+		work = work[1:]
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		switch attr[m] {
+		case dataflow.ReadAttr:
+			return true
+		case dataflow.WriteAttr:
+			// Blocked: the node must-defines the variable before any
+			// internal read.
+		default:
+			if m != cfg.Exit {
+				work = append(work, g.Succs(m)...)
+			}
+		}
+	}
+	return false
+}
+
+// blackenDescendants recursively colors all White successors of n Black.
+func blackenDescendants(g *cfg.Graph, colors map[int]Color, n int) {
+	for _, s := range g.Succs(n) {
+		if s == cfg.Exit || colors[s] == Black {
+			continue
+		}
+		colors[s] = Black
+		blackenDescendants(g, colors, s)
+	}
+}
+
+// analyzeLoop is the location-wise RFW test for loop regions.
+func analyzeLoop(r *ir.Region, da *deps.Analysis) *Result {
+	res := &Result{IsRFW: make(map[*ir.Ref]bool)}
+	earlyExit := r.HasEarlyExit()
+	for _, ref := range r.Refs {
+		if ref.Access != ir.Write {
+			continue
+		}
+		res.IsRFW[ref] = isLoopRFW(ref, da, earlyExit)
+	}
+	return res
+}
+
+func isLoopRFW(w *ir.Ref, da *deps.Analysis, earlyExit bool) bool {
+	if earlyExit {
+		// A data-dependent trip count makes re-execution of any given
+		// iteration impossible to guarantee.
+		return false
+	}
+	if !ir.AddrCertain(w) {
+		return false
+	}
+	if w.Ctx.Conditional {
+		// The write is not guaranteed to re-occur on all paths through
+		// the segment.
+		return false
+	}
+	for _, d := range da.SinksAt(w) {
+		if d.Kind != deps.Anti {
+			continue
+		}
+		// A read of the same location executes before the write: earlier
+		// in the same iteration (intra-segment) or in an older iteration,
+		// which re-executes between the rollback point and this write
+		// (cross-segment). That read consumes the stale value — unless it
+		// is itself covered by a must-write to the same location earlier
+		// in its own segment execution, in which case every path still
+		// rewrites the location before any read (Definition 5 holds).
+		if !isCoveredRead(d.Src, da.Region) {
+			return false
+		}
+	}
+	return true
+}
+
+// isCoveredRead reports whether every execution of the read r is preceded,
+// within the same segment execution, by a write to the same location. The
+// check is a must-analysis: it looks for an unconditional, certain-address
+// write w to the same variable that (a) textually precedes r's innermost
+// diverging subtree (structured code executes same-level statements in
+// textual order, so all instances of w complete before any instance of r
+// within a common-loop iteration), (b) mirrors r's loop nest beyond their
+// common prefix with identical ranges, and (c) has subscripts whose affine
+// forms equal r's after positionally mapping w's non-common loop indices
+// onto r's. Under those conditions, for every address r reads, w wrote the
+// same address earlier in the segment.
+func isCoveredRead(r *ir.Ref, region *ir.Region) bool {
+	if r.Access != ir.Read || !ir.AddrCertain(r) {
+		return false
+	}
+	for _, w := range region.VarRefs(r.Var) {
+		if w.Access != ir.Write || w.SegID != r.SegID {
+			continue
+		}
+		if coversRead(w, r) {
+			return true
+		}
+	}
+	return false
+}
+
+func coversRead(w, r *ir.Ref) bool {
+	if w.Ctx.Conditional || !ir.AddrCertain(w) || w.Pos >= r.Pos {
+		return false
+	}
+	// Common loop prefix; the remaining chains must mirror each other.
+	n := 0
+	for n < len(w.Ctx.Loops) && n < len(r.Ctx.Loops) && w.Ctx.Loops[n].ID == r.Ctx.Loops[n].ID {
+		n++
+	}
+	wRest := w.Ctx.Loops[n:]
+	rRest := r.Ctx.Loops[n:]
+	if len(wRest) != len(rRest) {
+		return false
+	}
+	rename := make(map[string]string, len(wRest))
+	for i := range wRest {
+		if wRest[i].From != rRest[i].From || wRest[i].To != rRest[i].To || wRest[i].Step != rRest[i].Step {
+			return false
+		}
+		rename[wRest[i].Index] = rRest[i].Index
+	}
+	wAff := ir.RefAffine(w)
+	rAff := ir.RefAffine(r)
+	for dim := range wAff {
+		if !affineEqualRenamed(wAff[dim], rAff[dim], rename) {
+			return false
+		}
+	}
+	return true
+}
+
+// affineEqualRenamed compares two affine forms after renaming a's
+// variables through the rename map (identity for unmapped names).
+func affineEqualRenamed(a, b ir.Affine, rename map[string]string) bool {
+	if a.Const != b.Const {
+		return false
+	}
+	mapped := make(map[string]int64, len(a.Coeff))
+	for v, c := range a.Coeff {
+		if nv, ok := rename[v]; ok {
+			v = nv
+		}
+		mapped[v] += c
+	}
+	if len(mapped) != len(b.Coeff) {
+		return false
+	}
+	for v, c := range b.Coeff {
+		if mapped[v] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package specmem
+
+// Cache is a set-associative LRU cache model used for timing only (values
+// live in the flat memory array). Addresses are in words.
+type Cache struct {
+	sets       int
+	ways       int
+	blockWords int64
+	// lines[set][way] holds block tags; lru[set][way] holds recency
+	// counters (higher = more recent).
+	lines [][]int64
+	lru   [][]uint64
+	tick  uint64
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache with the given geometry. sets and ways must be
+// at least 1; blockWords at least 1.
+func NewCache(sets, ways int, blockWords int64) *Cache {
+	if sets < 1 {
+		sets = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if blockWords < 1 {
+		blockWords = 1
+	}
+	c := &Cache{sets: sets, ways: ways, blockWords: blockWords}
+	c.lines = make([][]int64, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.lines {
+		c.lines[i] = make([]int64, ways)
+		c.lru[i] = make([]uint64, ways)
+		for w := range c.lines[i] {
+			c.lines[i][w] = -1
+		}
+	}
+	return c
+}
+
+// Access touches addr and reports whether it hit. Misses allocate
+// (write-allocate for writes too), evicting the LRU way.
+func (c *Cache) Access(addr int64) bool {
+	block := addr / c.blockWords
+	if addr < 0 {
+		block = (addr - c.blockWords + 1) / c.blockWords
+	}
+	set := int(block % int64(c.sets))
+	if set < 0 {
+		set += c.sets
+	}
+	c.tick++
+	for w, tag := range c.lines[set] {
+		if tag == block {
+			c.lru[set][w] = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	// Miss: evict LRU.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.lines[set][victim] = block
+	c.lru[set][victim] = c.tick
+	c.Misses++
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.tick = 0
+	c.Hits = 0
+	c.Misses = 0
+	for i := range c.lines {
+		for w := range c.lines[i] {
+			c.lines[i][w] = -1
+			c.lru[i][w] = 0
+		}
+	}
+}
+
+// HierarchyConfig describes the non-speculative storage timing model.
+type HierarchyConfig struct {
+	L1Sets     int
+	L1Ways     int
+	L2Sets     int
+	L2Ways     int
+	BlockWords int64
+	L1Latency  int64 // L1 hit
+	L2Latency  int64 // L1 miss, L2 hit
+	MemLatency int64 // L2 miss
+}
+
+// DefaultHierarchy is a small hierarchy in the spirit of year-2000 chip
+// multiprocessors: 2 KB 2-way L1s, a 32 KB 4-way shared L2 (sizes in
+// 8-byte words), 1/8/60-cycle latencies.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1Sets: 32, L1Ways: 2, L2Sets: 256, L2Ways: 4, BlockWords: 4,
+		L1Latency: 1, L2Latency: 8, MemLatency: 60,
+	}
+}
+
+// Hierarchy is the non-speculative storage: per-processor L1 caches over a
+// shared L2 over DRAM. It returns access latencies; data values live in
+// the engine's flat memory.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  *Cache
+
+	Accesses int64
+}
+
+// NewHierarchy builds the hierarchy for the given processor count.
+func NewHierarchy(procs int, cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l2: NewCache(cfg.L2Sets, cfg.L2Ways, cfg.BlockWords)}
+	for i := 0; i < procs; i++ {
+		h.l1 = append(h.l1, NewCache(cfg.L1Sets, cfg.L1Ways, cfg.BlockWords))
+	}
+	return h
+}
+
+// Access models processor proc touching addr and returns the latency in
+// cycles.
+func (h *Hierarchy) Access(proc int, addr int64) int64 {
+	h.Accesses++
+	if proc < 0 || proc >= len(h.l1) {
+		proc = 0
+	}
+	if h.l1[proc].Access(addr) {
+		return h.cfg.L1Latency
+	}
+	if h.l2.Access(addr) {
+		return h.cfg.L2Latency
+	}
+	return h.cfg.MemLatency
+}
+
+// L1MissRate returns the aggregate L1 miss rate (0 when unused).
+func (h *Hierarchy) L1MissRate() float64 {
+	var hits, misses int64
+	for _, c := range h.l1 {
+		hits += c.Hits
+		misses += c.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(hits+misses)
+}

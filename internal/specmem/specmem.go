@@ -1,0 +1,181 @@
+// Package specmem models the two storages of the paper's execution models:
+// the per-segment speculative storage (small, capacity-limited hardware
+// buffers that hold a segment's speculative data and reference-tracking
+// information) and the non-speculative storage (a conventional L1/L2/DRAM
+// memory hierarchy).
+package specmem
+
+import (
+	"sort"
+)
+
+// Entry is one speculative-storage record: the data value plus the access
+// information the speculation engine needs to track dependences (HOSE
+// Property 5).
+type Entry struct {
+	Addr  int64
+	Value int64
+	// Written reports the segment produced this value.
+	Written bool
+	// ReadFromBelow reports the segment consumed this location from an
+	// ancestor or from non-speculative storage before writing it — the
+	// record a later (program-order-earlier) write uses to detect a
+	// premature read.
+	ReadFromBelow bool
+	// SourceAge is the age of the ancestor segment that supplied the
+	// value of a ReadFromBelow entry, or -1 when it came from
+	// non-speculative storage.
+	SourceAge int
+}
+
+// Buffer is one segment's speculative storage. Capacity is in entries; a
+// full buffer rejects new locations (speculative storage overflow, the
+// paper's key bottleneck). With sets > 1 the buffer is organized as a
+// set-associative structure — like the speculative versioning cache or
+// the Multiscalar ARB — and a new location is also rejected when its
+// address-indexed set is full, even if total capacity remains.
+type Buffer struct {
+	capacity int
+	sets     int
+	ways     int
+	entries  map[int64]*Entry
+	setCount []int
+}
+
+// NewBuffer returns an empty fully-associative buffer with the given
+// capacity (entries).
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{capacity: capacity, sets: 1, entries: make(map[int64]*Entry)}
+}
+
+// NewSetAssocBuffer returns an empty set-associative buffer with
+// sets × ways entries.
+func NewSetAssocBuffer(sets, ways int) *Buffer {
+	if sets < 1 {
+		sets = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	return &Buffer{
+		capacity: sets * ways,
+		sets:     sets,
+		ways:     ways,
+		entries:  make(map[int64]*Entry),
+		setCount: make([]int, sets),
+	}
+}
+
+func (b *Buffer) setOf(addr int64) int {
+	s := int(addr % int64(b.sets))
+	if s < 0 {
+		s += b.sets
+	}
+	return s
+}
+
+// canAllocate reports whether a new entry for addr fits.
+func (b *Buffer) canAllocate(addr int64) bool {
+	if len(b.entries) >= b.capacity {
+		return false
+	}
+	if b.sets > 1 && b.setCount[b.setOf(addr)] >= b.ways {
+		return false
+	}
+	return true
+}
+
+func (b *Buffer) allocate(addr int64, e *Entry) {
+	b.entries[addr] = e
+	if b.sets > 1 {
+		b.setCount[b.setOf(addr)]++
+	}
+}
+
+// Lookup returns the entry for addr, or nil.
+func (b *Buffer) Lookup(addr int64) *Entry { return b.entries[addr] }
+
+// Size returns the number of occupied entries.
+func (b *Buffer) Size() int { return len(b.entries) }
+
+// Capacity returns the configured capacity.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Full reports whether total capacity is exhausted (set conflicts can
+// reject a specific address even when Full is false).
+func (b *Buffer) Full() bool { return len(b.entries) >= b.capacity }
+
+// NoteRead records a read of addr that was satisfied from sourceAge (-1
+// for non-speculative storage) with the given value. It reports false on
+// overflow (no room for a new entry).
+func (b *Buffer) NoteRead(addr, value int64, sourceAge int) bool {
+	if e, ok := b.entries[addr]; ok {
+		// The location is already tracked; reads of the segment's own
+		// value or repeated reads change nothing.
+		if !e.Written && !e.ReadFromBelow {
+			e.ReadFromBelow = true
+			e.SourceAge = sourceAge
+			e.Value = value
+		}
+		return true
+	}
+	if !b.canAllocate(addr) {
+		return false
+	}
+	b.allocate(addr, &Entry{Addr: addr, Value: value, ReadFromBelow: true, SourceAge: sourceAge})
+	return true
+}
+
+// Write records a write of value to addr. It reports false on overflow.
+func (b *Buffer) Write(addr, value int64) bool {
+	if e, ok := b.entries[addr]; ok {
+		e.Value = value
+		e.Written = true
+		return true
+	}
+	if !b.canAllocate(addr) {
+		return false
+	}
+	b.allocate(addr, &Entry{Addr: addr, Value: value, Written: true})
+	return true
+}
+
+// Clear discards all entries (rollback: HOSE Property 4).
+func (b *Buffer) Clear() {
+	b.entries = make(map[int64]*Entry)
+	if b.sets > 1 {
+		for i := range b.setCount {
+			b.setCount[i] = 0
+		}
+	}
+}
+
+// WrittenEntries returns the segment-produced entries in address order
+// (the values a commit transfers to non-speculative storage).
+func (b *Buffer) WrittenEntries() []*Entry {
+	out := make([]*Entry, 0, len(b.entries))
+	for _, e := range b.entries {
+		if e.Written {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// PrematureRead returns the entry proving a premature read of addr
+// relative to a write by the segment of age writerAge: the buffer's owner
+// consumed the location from memory or from a source no younger than the
+// writer, so after the write the consumed value is stale. (Equality counts:
+// a value forwarded from the writer's own earlier version is stale once
+// the writer stores again.) Returns nil when no violation exists.
+func (b *Buffer) PrematureRead(addr int64, writerAge int) *Entry {
+	e := b.entries[addr]
+	if e == nil || !e.ReadFromBelow {
+		return nil
+	}
+	if e.SourceAge <= writerAge {
+		return e
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+// Package testutil provides the seeded random program generator behind the
+// property-based tests: random regions exercise the analysis pipeline and
+// both execution engines far beyond the hand-written workloads.
+//
+// Generated affine subscripts are always within array bounds: the analysis
+// contract (as for any Fortran-style compiler, and as in the paper) is
+// that analyzable subscripts do not overflow their declared dimensions.
+// Indirect (subscripted-subscript) accesses may take any value — the
+// engine wraps them into bounds, and the dependence analysis treats them
+// conservatively, exactly like the paper's K(E) references.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"refidem/internal/ir"
+)
+
+// GenConfig bounds the shape of generated programs.
+type GenConfig struct {
+	MaxScalars   int
+	MaxArrays    int
+	MaxArrayDim  int
+	MaxStmts     int
+	MaxIters     int
+	MaxInnerTrip int
+	// Regions sets how many regions the program contains (default 1).
+	Regions int
+	// AllowEarlyExit enables ExitRegion statements.
+	AllowEarlyExit bool
+	// AllowCFG enables CFG-region generation (otherwise loop regions).
+	AllowCFG bool
+	// AllowIndirect enables subscripted subscripts (uncertain addresses).
+	AllowIndirect bool
+}
+
+// DefaultGen is a balanced configuration.
+func DefaultGen() GenConfig {
+	return GenConfig{
+		MaxScalars: 4, MaxArrays: 3, MaxArrayDim: 24,
+		MaxStmts: 6, MaxIters: 10, MaxInnerTrip: 4, Regions: 1,
+		AllowEarlyExit: true, AllowCFG: true, AllowIndirect: true,
+	}
+}
+
+// idxInfo describes an in-scope loop index and its maximum value (all
+// generated loops run upward from 0).
+type idxInfo struct {
+	name string
+	max  int
+}
+
+// gen carries generation state.
+type gen struct {
+	rng     *rand.Rand
+	cfg     GenConfig
+	p       *ir.Program
+	scalars []*ir.Var
+	arrays  []*ir.Var
+	depth   int
+}
+
+// Program generates a deterministic pseudo-random one-region program for
+// the seed.
+func Program(seed int64, cfg GenConfig) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	g := &gen{rng: rng, cfg: cfg, p: ir.NewProgram("rand")}
+	ns := 1 + rng.Intn(cfg.MaxScalars)
+	for i := 0; i < ns; i++ {
+		g.scalars = append(g.scalars, g.p.AddVar(scalarName(i)))
+	}
+	na := 1 + rng.Intn(cfg.MaxArrays)
+	for i := 0; i < na; i++ {
+		// Dimensions comfortably larger than the iteration counts so
+		// in-bounds affine subscripts exist for any scale <= 2.
+		dim := cfg.MaxIters*2 + rng.Intn(cfg.MaxArrayDim)
+		g.arrays = append(g.arrays, g.p.AddVar(arrayName(i), dim))
+	}
+	regions := cfg.Regions
+	if regions < 1 {
+		regions = 1
+	}
+	for ri := 0; ri < regions; ri++ {
+		var r *ir.Region
+		if cfg.AllowCFG && rng.Intn(3) == 0 {
+			r = g.cfgRegion()
+		} else {
+			r = g.loopRegion()
+		}
+		r.Name = fmt.Sprintf("r%d", ri)
+		if ri == regions-1 {
+			// Half the variables are live out of the program
+			// (deterministically by index); earlier regions get their
+			// live-out sets from the inter-region liveness pass.
+			live := map[string]bool{}
+			for i, v := range g.scalars {
+				if i%2 == 0 {
+					live[v.Name] = true
+				}
+			}
+			for i, v := range g.arrays {
+				if i%2 == 0 {
+					live[v.Name] = true
+				}
+			}
+			r.Ann.LiveOut = live
+		}
+		r.Finalize()
+		g.p.AddRegion(r)
+	}
+	return g.p
+}
+
+// AffineLoopProgram generates a straight-line loop region with purely
+// affine subscripts, no conditionals, no indirect accesses and no early
+// exits — the restricted shape the brute-force trace oracles (dependence
+// ground truth, Definition 5 RFW checking) can enumerate exactly.
+func AffineLoopProgram(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := ir.NewProgram("oracle")
+	iters := 3 + rng.Intn(6)
+	arrays := make([]*ir.Var, 1+rng.Intn(3))
+	for i := range arrays {
+		arrays[i] = p.AddVar("a"+string(rune('0'+i)), iters*3+8)
+	}
+	scalars := make([]*ir.Var, 1+rng.Intn(2))
+	for i := range scalars {
+		scalars[i] = p.AddVar("s" + string(rune('0'+i)))
+	}
+	affine := func(indices []string, dim int) ir.Expr {
+		if len(indices) > 0 && rng.Intn(3) != 0 {
+			idx := indices[rng.Intn(len(indices))]
+			scale := 1 + rng.Intn(2)
+			off := rng.Intn(5)
+			return ir.AddE(ir.MulE(ir.C(int64(scale)), ir.Idx(idx)), ir.C(int64(off)))
+		}
+		return ir.C(int64(rng.Intn(dim)))
+	}
+	mkRef := func(indices []string, write bool) *ir.Ref {
+		if rng.Intn(4) == 0 {
+			v := scalars[rng.Intn(len(scalars))]
+			if write {
+				return ir.Wr(v)
+			}
+			return ir.Rd(v).(*ir.Load).Ref
+		}
+		v := arrays[rng.Intn(len(arrays))]
+		if write {
+			return ir.Wr(v, affine(indices, v.Dims[0]))
+		}
+		return ir.Rd(v, affine(indices, v.Dims[0])).(*ir.Load).Ref
+	}
+	var stmts func(n int, indices []string, depth int) []ir.Stmt
+	stmts = func(n int, indices []string, depth int) []ir.Stmt {
+		var out []ir.Stmt
+		for i := 0; i < n; i++ {
+			if depth < 2 && rng.Intn(4) == 0 {
+				idx := "j" + string(rune('0'+depth))
+				out = append(out, &ir.For{
+					Index: idx, From: 0, To: rng.Intn(3) + 1, Step: 1,
+					Body: stmts(1+rng.Intn(2), append(append([]string{}, indices...), idx), depth+1),
+				})
+				continue
+			}
+			out = append(out, &ir.Assign{
+				LHS: mkRef(indices, true),
+				RHS: ir.AddE(&ir.Load{Ref: mkRef(indices, false)}, ir.C(1)),
+			})
+		}
+		return out
+	}
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: iters - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: stmts(1+rng.Intn(4), []string{"k"}, 0)}}}
+	live := map[string]bool{}
+	for i, v := range p.Vars {
+		if i%2 == 0 {
+			live[v.Name] = true
+		}
+	}
+	r.Ann.LiveOut = live
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}
+
+func scalarName(i int) string { return string(rune('s')) + string(rune('0'+i)) }
+func arrayName(i int) string  { return string(rune('a')) + string(rune('0'+i)) }
+
+func (g *gen) loopRegion() *ir.Region {
+	iters := 2 + g.rng.Intn(g.cfg.MaxIters-1)
+	body := g.stmts(1+g.rng.Intn(g.cfg.MaxStmts), []idxInfo{{"k", iters - 1}}, true)
+	return &ir.Region{
+		Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: iters - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: body}},
+	}
+}
+
+func (g *gen) cfgRegion() *ir.Region {
+	n := 3 + g.rng.Intn(3)
+	segs := make([]*ir.Segment, n)
+	for i := 0; i < n; i++ {
+		segs[i] = &ir.Segment{
+			ID:   i,
+			Name: "s" + string(rune('0'+i)),
+			Body: g.stmts(1+g.rng.Intn(g.cfg.MaxStmts), nil, false),
+		}
+	}
+	// Edges: forward-only. Each segment links to the next; some branch to
+	// a random later segment.
+	for i := 0; i < n-1; i++ {
+		segs[i].Succs = []int{i + 1}
+		if i+2 < n && g.rng.Intn(3) == 0 {
+			other := i + 2 + g.rng.Intn(n-i-2)
+			segs[i].Succs = append(segs[i].Succs, other)
+			segs[i].Branch = g.expr(nil, 1)
+		}
+	}
+	return &ir.Region{Name: "r", Kind: ir.CFGRegion, Segments: segs}
+}
+
+// stmts generates a statement list. indices are the in-scope loop indices.
+func (g *gen) stmts(n int, indices []idxInfo, allowExit bool) []ir.Stmt {
+	var out []ir.Stmt
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5:
+			out = append(out, g.assign(indices))
+		case 6, 7:
+			if g.depth < 2 {
+				g.depth++
+				s := &ir.If{
+					Cond: g.expr(indices, 1),
+					Then: g.stmts(1+g.rng.Intn(2), indices, false),
+				}
+				if g.rng.Intn(2) == 0 {
+					s.Else = g.stmts(1+g.rng.Intn(2), indices, false)
+				}
+				g.depth--
+				out = append(out, s)
+			} else {
+				out = append(out, g.assign(indices))
+			}
+		case 8:
+			if g.depth < 2 {
+				g.depth++
+				trip := g.rng.Intn(g.cfg.MaxInnerTrip) + 1
+				idx := idxInfo{name: "j" + string(rune('0'+g.depth)), max: trip}
+				inner := append(append([]idxInfo{}, indices...), idx)
+				out = append(out, &ir.For{
+					Index: idx.name, From: 0, To: trip, Step: 1,
+					Body: g.stmts(1+g.rng.Intn(2), inner, false),
+				})
+				g.depth--
+			} else {
+				out = append(out, g.assign(indices))
+			}
+		case 9:
+			if allowExit && g.cfg.AllowEarlyExit && g.rng.Intn(4) == 0 {
+				out = append(out, &ir.ExitRegion{Cond: g.expr(indices, 1)})
+			} else {
+				out = append(out, g.assign(indices))
+			}
+		}
+	}
+	return out
+}
+
+func (g *gen) assign(indices []idxInfo) ir.Stmt {
+	return &ir.Assign{LHS: g.writeRef(indices), RHS: g.expr(indices, 0)}
+}
+
+func (g *gen) writeRef(indices []idxInfo) *ir.Ref {
+	if g.rng.Intn(3) == 0 {
+		return ir.Wr(g.scalars[g.rng.Intn(len(g.scalars))])
+	}
+	a := g.arrays[g.rng.Intn(len(g.arrays))]
+	return ir.Wr(a, g.subscript(indices, a.Dims[0]))
+}
+
+// subscript produces an in-bounds affine index expression, or occasionally
+// an indirect one (whose value the engine wraps and the analysis treats
+// conservatively).
+func (g *gen) subscript(indices []idxInfo, dim int) ir.Expr {
+	if g.cfg.AllowIndirect && g.rng.Intn(8) == 0 {
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		return ir.Rd(a, g.affine(indices, a.Dims[0]))
+	}
+	return g.affine(indices, dim)
+}
+
+// affine builds scale*idx + c with scale*idxMax + c <= dim-1.
+func (g *gen) affine(indices []idxInfo, dim int) ir.Expr {
+	if len(indices) > 0 && g.rng.Intn(4) != 0 {
+		idx := indices[g.rng.Intn(len(indices))]
+		maxScale := 0
+		if idx.max > 0 {
+			maxScale = (dim - 1) / idx.max
+		}
+		if maxScale > 2 {
+			maxScale = 2
+		}
+		if maxScale >= 1 {
+			scale := 1 + g.rng.Intn(maxScale)
+			room := dim - 1 - scale*idx.max
+			c := 0
+			if room > 0 {
+				c = g.rng.Intn(room + 1)
+			}
+			return ir.AddE(ir.MulE(ir.C(int64(scale)), ir.Idx(idx.name)), ir.C(int64(c)))
+		}
+	}
+	return ir.C(int64(g.rng.Intn(dim)))
+}
+
+// expr generates a right-hand-side expression; depth bounds recursion.
+func (g *gen) expr(indices []idxInfo, depth int) ir.Expr {
+	if depth > 2 {
+		return ir.C(int64(g.rng.Intn(7) - 3))
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return ir.C(int64(g.rng.Intn(9) - 4))
+	case 1:
+		if len(indices) > 0 {
+			return ir.Idx(indices[g.rng.Intn(len(indices))].name)
+		}
+		return ir.C(1)
+	case 2:
+		return ir.Rd(g.scalars[g.rng.Intn(len(g.scalars))])
+	case 3:
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		return ir.Rd(a, g.subscript(indices, a.Dims[0]))
+	default:
+		ops := []ir.BinOp{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Lt, ir.Gt, ir.Eq, ir.And}
+		return ir.Op(ops[g.rng.Intn(len(ops))],
+			g.expr(indices, depth+1), g.expr(indices, depth+1))
+	}
+}

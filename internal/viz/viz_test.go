@@ -1,0 +1,52 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"refidem/internal/idem"
+	"refidem/internal/workloads"
+)
+
+func TestSegmentGraphDOT(t *testing.T) {
+	p := workloads.Figure3()
+	s := SegmentGraphDOT(p.Regions[0])
+	for _, want := range []string{"digraph segments", "exit", "s1 ->", "taken", "else"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Every segment must appear.
+	for _, seg := range p.Regions[0].Segments {
+		if !strings.Contains(s, seg.Name) {
+			t.Errorf("segment %s missing", seg.Name)
+		}
+	}
+}
+
+func TestDependenceGraphDOT(t *testing.T) {
+	p := workloads.Figure2()
+	res := idem.LabelRegion(p, p.Regions[0], nil)
+	s := DependenceGraphDOT(res)
+	for _, want := range []string{"digraph deps", "palegreen", "salmon", "penwidth=2", "dashed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Node count equals reference count.
+	if got := strings.Count(s, "fillcolor"); got != len(p.Regions[0].Refs) {
+		t.Errorf("%d nodes for %d refs", got, len(p.Regions[0].Refs))
+	}
+	// Edge count equals dependence count.
+	if got := strings.Count(s, " -> "); got != len(res.Deps.All) {
+		t.Errorf("%d edges for %d deps", got, len(res.Deps.All))
+	}
+}
+
+func TestDOTIsDeterministic(t *testing.T) {
+	p := workloads.Figure2()
+	res := idem.LabelRegion(p, p.Regions[0], nil)
+	if DependenceGraphDOT(res) != DependenceGraphDOT(res) {
+		t.Error("DOT output not deterministic")
+	}
+}

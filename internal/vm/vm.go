@@ -1,0 +1,359 @@
+// Package vm compiles segment bodies to a small register bytecode and
+// interprets them as resumable machines. The execution engines (package
+// engine) step a machine until its next memory reference, resolve the
+// reference against the speculative or non-speculative storage, and resume
+// it — which is what makes true speculative execution (stale value
+// propagation, rollback, re-execution) simulatable deterministically.
+package vm
+
+import (
+	"fmt"
+
+	"refidem/internal/ir"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+const (
+	// OpConst loads an immediate into Dst.
+	OpConst Op = iota
+	// OpBin applies BinOp to registers A and B, result in Dst.
+	OpBin
+	// OpLoad issues a memory read through Ref; subscript values are in
+	// the Subs registers. The machine pauses; the engine supplies the
+	// loaded value, which lands in Dst.
+	OpLoad
+	// OpStore issues a memory write through Ref of register A's value.
+	OpStore
+	// OpJump jumps to instruction A.
+	OpJump
+	// OpJz jumps to instruction B when register A is zero.
+	OpJz
+	// OpExit requests region exit after this segment completes.
+	OpExit
+	// OpBranch records register A as the segment's branch value and
+	// halts.
+	OpBranch
+	// OpHalt ends the segment.
+	OpHalt
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpBin: "bin", OpLoad: "load", OpStore: "store",
+	OpJump: "jump", OpJz: "jz", OpExit: "exit", OpBranch: "branch", OpHalt: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", o)
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op    Op
+	Dst   int
+	A     int
+	B     int
+	Val   int64
+	BinOp ir.BinOp
+	Ref   *ir.Ref
+	Subs  []int
+}
+
+// Code is a compiled segment body.
+type Code struct {
+	Instrs  []Instr
+	NumRegs int
+}
+
+// RegionIndexReg is the register that holds the region loop index value;
+// the engine initializes it per segment instance.
+const RegionIndexReg = 0
+
+// compiler carries compilation state.
+type compiler struct {
+	code    *Code
+	nextReg int
+	indexes map[string]int // loop index name -> register
+}
+
+// Compile translates a segment body (and optional branch expression) to
+// bytecode. regionIndex names the loop region's index variable ("" for CFG
+// regions).
+func Compile(seg *ir.Segment, regionIndex string) *Code {
+	c := &compiler{
+		code:    &Code{},
+		nextReg: 1, // register 0 is the region index
+		indexes: map[string]int{},
+	}
+	if regionIndex != "" {
+		c.indexes[regionIndex] = RegionIndexReg
+	}
+	c.stmts(seg.Body)
+	if seg.Branch != nil {
+		r := c.expr(seg.Branch)
+		c.emit(Instr{Op: OpBranch, A: r})
+	} else {
+		c.emit(Instr{Op: OpHalt})
+	}
+	return c.code
+}
+
+func (c *compiler) emit(i Instr) int {
+	c.code.Instrs = append(c.code.Instrs, i)
+	return len(c.code.Instrs) - 1
+}
+
+func (c *compiler) reg() int {
+	r := c.nextReg
+	c.nextReg++
+	if r+1 > c.code.NumRegs {
+		c.code.NumRegs = r + 1
+	}
+	return r
+}
+
+func (c *compiler) stmts(stmts []ir.Stmt) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ir.Assign:
+			val := c.expr(s.RHS)
+			subs := make([]int, len(s.LHS.Subs))
+			for i, sub := range s.LHS.Subs {
+				subs[i] = c.expr(sub)
+			}
+			c.emit(Instr{Op: OpStore, A: val, Ref: s.LHS, Subs: subs})
+		case *ir.If:
+			cond := c.expr(s.Cond)
+			jz := c.emit(Instr{Op: OpJz, A: cond})
+			c.stmts(s.Then)
+			if len(s.Else) > 0 {
+				jmp := c.emit(Instr{Op: OpJump})
+				c.code.Instrs[jz].B = len(c.code.Instrs)
+				c.stmts(s.Else)
+				c.code.Instrs[jmp].A = len(c.code.Instrs)
+			} else {
+				c.code.Instrs[jz].B = len(c.code.Instrs)
+			}
+		case *ir.For:
+			idx := c.reg()
+			prev, shadowed := c.indexes[s.Index]
+			c.indexes[s.Index] = idx
+			c.emit(Instr{Op: OpConst, Dst: idx, Val: int64(s.From)})
+			loopTop := len(c.code.Instrs)
+			// Continue while idx <= To (ascending) or idx >= To
+			// (descending).
+			bound := c.reg()
+			c.emit(Instr{Op: OpConst, Dst: bound, Val: int64(s.To)})
+			cond := c.reg()
+			cmp := ir.Le
+			if s.Step < 0 {
+				cmp = ir.Ge
+			}
+			c.emit(Instr{Op: OpBin, Dst: cond, A: idx, B: bound, BinOp: cmp})
+			jz := c.emit(Instr{Op: OpJz, A: cond})
+			c.stmts(s.Body)
+			step := c.reg()
+			c.emit(Instr{Op: OpConst, Dst: step, Val: int64(s.Step)})
+			c.emit(Instr{Op: OpBin, Dst: idx, A: idx, B: step, BinOp: ir.Add})
+			c.emit(Instr{Op: OpJump, A: loopTop})
+			c.code.Instrs[jz].B = len(c.code.Instrs)
+			if shadowed {
+				c.indexes[s.Index] = prev
+			} else {
+				delete(c.indexes, s.Index)
+			}
+		case *ir.ExitRegion:
+			cond := c.expr(s.Cond)
+			jz := c.emit(Instr{Op: OpJz, A: cond})
+			c.emit(Instr{Op: OpExit})
+			c.code.Instrs[jz].B = len(c.code.Instrs)
+		default:
+			panic(fmt.Sprintf("vm: unknown statement %T", st))
+		}
+	}
+}
+
+func (c *compiler) expr(e ir.Expr) int {
+	switch x := e.(type) {
+	case *ir.Const:
+		r := c.reg()
+		c.emit(Instr{Op: OpConst, Dst: r, Val: x.Val})
+		return r
+	case *ir.Index:
+		r, ok := c.indexes[x.Name]
+		if !ok {
+			panic(fmt.Sprintf("vm: unknown index %q", x.Name))
+		}
+		return r
+	case *ir.Load:
+		subs := make([]int, len(x.Ref.Subs))
+		for i, sub := range x.Ref.Subs {
+			subs[i] = c.expr(sub)
+		}
+		r := c.reg()
+		c.emit(Instr{Op: OpLoad, Dst: r, Ref: x.Ref, Subs: subs})
+		return r
+	case *ir.Bin:
+		l := c.expr(x.L)
+		rr := c.expr(x.R)
+		r := c.reg()
+		c.emit(Instr{Op: OpBin, Dst: r, A: l, B: rr, BinOp: x.Op})
+		return r
+	}
+	panic(fmt.Sprintf("vm: unknown expression %T", e))
+}
+
+// EventKind classifies what a machine paused for.
+type EventKind uint8
+
+const (
+	// EvLoad: the machine needs a value for Ref at Subs; resume with
+	// ResumeLoad.
+	EvLoad EventKind = iota
+	// EvStore: the machine wrote Value through Ref at Subs; no resume
+	// data needed.
+	EvStore
+	// EvDone: the segment finished.
+	EvDone
+)
+
+// Event is what Machine.Step returns when it pauses.
+type Event struct {
+	Kind  EventKind
+	Ref   *ir.Ref
+	Subs  []int64
+	Value int64
+	dst   int
+}
+
+// Machine is a resumable interpreter over compiled code.
+type Machine struct {
+	Code *Code
+	PC   int
+	Regs []int64
+	// ExitRequested is set when an OpExit executed.
+	ExitRequested bool
+	// BranchVal holds the OpBranch value; Branched reports one executed.
+	BranchVal int64
+	Branched  bool
+	done      bool
+
+	pendingLoad bool
+	pendingDst  int
+}
+
+// NewMachine creates a machine for the code with the region index value.
+func NewMachine(code *Code, indexVal int64) *Machine {
+	m := &Machine{Code: code, Regs: make([]int64, maxInt(code.NumRegs, 1))}
+	m.Regs[RegionIndexReg] = indexVal
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Reset rewinds the machine to its initial state (used on rollback),
+// preserving the region index value.
+func (m *Machine) Reset() {
+	idx := m.Regs[RegionIndexReg]
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.Regs[RegionIndexReg] = idx
+	m.PC = 0
+	m.ExitRequested = false
+	m.BranchVal = 0
+	m.Branched = false
+	m.done = false
+	m.pendingLoad = false
+}
+
+// Done reports whether the machine has halted.
+func (m *Machine) Done() bool { return m.done }
+
+// ResumeLoad supplies the value for the pending load.
+func (m *Machine) ResumeLoad(val int64) {
+	if !m.pendingLoad {
+		panic("vm: ResumeLoad without pending load")
+	}
+	m.Regs[m.pendingDst] = val
+	m.pendingLoad = false
+}
+
+// Step runs instructions until the next memory event or completion. It
+// returns the event and the number of non-memory instructions executed
+// (for cycle accounting). Calling Step with an unresolved load panics.
+func (m *Machine) Step() (Event, int) {
+	if m.pendingLoad {
+		panic("vm: Step with unresolved load")
+	}
+	ops := 0
+	for {
+		if m.done {
+			return Event{Kind: EvDone}, ops
+		}
+		if m.PC >= len(m.Code.Instrs) {
+			m.done = true
+			return Event{Kind: EvDone}, ops
+		}
+		in := &m.Code.Instrs[m.PC]
+		switch in.Op {
+		case OpConst:
+			m.Regs[in.Dst] = in.Val
+			m.PC++
+			ops++
+		case OpBin:
+			m.Regs[in.Dst] = in.BinOp.Apply(m.Regs[in.A], m.Regs[in.B])
+			m.PC++
+			ops++
+		case OpJump:
+			m.PC = in.A
+			ops++
+		case OpJz:
+			if m.Regs[in.A] == 0 {
+				m.PC = in.B
+			} else {
+				m.PC++
+			}
+			ops++
+		case OpExit:
+			m.ExitRequested = true
+			m.PC++
+			ops++
+		case OpLoad:
+			subs := make([]int64, len(in.Subs))
+			for i, r := range in.Subs {
+				subs[i] = m.Regs[r]
+			}
+			m.pendingLoad = true
+			m.pendingDst = in.Dst
+			m.PC++
+			return Event{Kind: EvLoad, Ref: in.Ref, Subs: subs, dst: in.Dst}, ops + 1
+		case OpStore:
+			subs := make([]int64, len(in.Subs))
+			for i, r := range in.Subs {
+				subs[i] = m.Regs[r]
+			}
+			m.PC++
+			return Event{Kind: EvStore, Ref: in.Ref, Subs: subs, Value: m.Regs[in.A]}, ops + 1
+		case OpBranch:
+			m.BranchVal = m.Regs[in.A]
+			m.Branched = true
+			m.done = true
+			return Event{Kind: EvDone}, ops + 1
+		case OpHalt:
+			m.done = true
+			return Event{Kind: EvDone}, ops + 1
+		default:
+			panic(fmt.Sprintf("vm: unknown opcode %v", in.Op))
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package workloads
+
+import (
+	"fmt"
+
+	"refidem/internal/ir"
+	"refidem/internal/lang"
+)
+
+// LoopSpec is one named loop of the paper's evaluation (Figures 6-9),
+// written in the mini language. Bench and Name follow the paper's
+// BENCH LOOP_DOxxx naming; Fig records which figure the loop appears in.
+type LoopSpec struct {
+	Bench string
+	Name  string
+	Fig   int
+	Src   string
+}
+
+// Program parses the loop into a fresh ir.Program.
+func (s LoopSpec) Program() *ir.Program { return lang.MustParse(s.Src) }
+
+// String returns "BENCH NAME".
+func (s LoopSpec) String() string { return fmt.Sprintf("%s %s", s.Bench, s.Name) }
+
+// NamedLoops returns the loops behind Figures 6-9, in figure order.
+//
+// The sources are synthetic reconstructions (see DESIGN.md §3): each
+// mirrors the dependence and reference structure the paper describes for
+// the original Fortran loop. Common ingredients:
+//
+//   - A long-distance recurrence (distance 6, beyond the 4-processor
+//     window) keeps each loop out of reach of static parallelization —
+//     the compiler sees a cross-segment flow dependence — while staying
+//     conflict-free at run time, which is precisely the kind of loop
+//     speculative execution profits from.
+//   - The Figure 6/8/9 loops touch more locations per segment than the
+//     128-entry speculative storage holds, so HOSE overflows and
+//     serializes; under CASE only the speculative remainder is tracked.
+//   - The Figure 7 loops fit in speculative storage; their CASE benefit
+//     comes from the privatized workspace bypassing it (fewer entries,
+//     cheaper commits), partially offset by the stack setup cost.
+//
+// The loops of Figure 8 are stand-ins (the paper's text does not name
+// them); they carry plausible names from the same benchmarks.
+func NamedLoops() []LoopSpec {
+	return []LoopSpec{
+		// ------- Figure 6: read-only category -------
+		{Bench: "TOMCATV", Name: "MAIN_DO80", Fig: 6, Src: `
+program tomcatv_main_do80
+var x[34,34]
+var y[34,34]
+var rx[34,34]
+var ry[34,34]
+var rsum[40]
+# Mesh relaxation sweep: per row j, heavy read-only access to the mesh
+# coordinates x and y; residuals are written once per point; the row
+# residual recurrence (distance 6) is the unanalyzable serial sink.
+region main_do80 loop j = 1 to 24 {
+  liveout rx, ry, rsum
+  for i = 1 to 30 {
+    rx[i,j] = x[i-1,j] + x[i+1,j] + x[i,j-1] + x[i,j+1] - 4 * x[i,j]
+    ry[i,j] = y[i-1,j] + y[i+1,j] + y[i,j-1] + y[i,j+1] - 4 * y[i,j]
+  }
+  rsum[j+6] = rsum[j] + rx[1,j] + ry[1,j]
+}
+`},
+		{Bench: "WAVE5", Name: "PARMVR_DO120", Fig: 6, Src: `
+program wave5_parmvr_do120
+var ex[128]
+var ey[128]
+var jx[1024]
+var vx[1024]
+var vy[1024]
+var esum[24]
+# Particle mover, blocked 48 particles per segment: gathers of the
+# read-only field arrays through the particle cell index jx (a
+# subscripted subscript), velocity updates, and a block-energy
+# recurrence at distance 6.
+region parmvr_do120 loop b = 0 to 15 {
+  liveout vx, vy, esum
+  for p = 0 to 47 {
+    vx[b*48+p] = vx[b*48+p] + ex[jx[b*48+p]] + ex[jx[b*48+p+1]]
+    vy[b*48+p] = vy[b*48+p] + ey[jx[b*48+p]] + ey[jx[b*48+p+1]]
+  }
+  esum[b+6] = esum[b] + vx[b*48]
+}
+`},
+		{Bench: "WAVE5", Name: "PARMVR_DO140", Fig: 6, Src: `
+program wave5_parmvr_do140
+var ex[128]
+var ey[128]
+var bz[128]
+var jx[1024]
+var px[1024]
+var py[1024]
+var psum[24]
+# Position update phase of the particle mover: even more field gathers
+# per particle, same blocking and recurrence structure.
+region parmvr_do140 loop b = 0 to 15 {
+  liveout px, py, psum
+  for p = 0 to 47 {
+    px[b*48+p] = px[b*48+p] + ex[jx[b*48+p]] + bz[jx[b*48+p]] + ex[jx[b*48+p+1]]
+    py[b*48+p] = py[b*48+p] + ey[jx[b*48+p]] + bz[jx[b*48+p]] + ey[jx[b*48+p+1]]
+  }
+  psum[b+6] = psum[b] + px[b*48]
+}
+`},
+		// ------- Figure 7: private category -------
+		{Bench: "TURB3D", Name: "DRCFT_DO2", Fig: 7, Src: `
+program turb3d_drcft_do2
+var u[40,24]
+var w[40]
+var uspec[30]
+# Per-plane FFT-style transform: each plane is copied into the private
+# work array w, transformed in place, and copied back. The spectral
+# energy recurrence (distance 6) defeats static parallelization.
+region drcft_do2 loop k = 0 to 23 {
+  private w
+  liveout u, uspec
+  for i = 0 to 39 {
+    w[i] = u[i,k]
+  }
+  for i = 0 to 19 {
+    w[i] = w[i] + w[i+20]
+    w[i+20] = w[i] - 2 * w[i+20]
+  }
+  for i = 0 to 39 {
+    u[i,k] = w[i]
+  }
+  uspec[k+6] = uspec[k] + u[0,k]
+}
+`},
+		{Bench: "APPLU", Name: "SETBV_DO2", Fig: 7, Src: `
+program applu_setbv_do2
+var ce[13]
+var phi[40]
+var u[5,42,24]
+var unorm[30]
+# Boundary-value setup: per column j, the boundary profile phi is a
+# privatizable workspace recomputed from the read-only coefficient
+# table ce; about half of the references go to the private array.
+region setbv_do2 loop j = 0 to 23 {
+  private phi
+  liveout u, unorm
+  for i = 0 to 39 {
+    phi[i] = ce[0] + ce[1] * i + ce[2] * j
+    phi[i] = phi[i] + ce[3] * phi[i]
+  }
+  for m = 0 to 4 {
+    u[m,0,j] = phi[0] + ce[m]
+    u[m,41,j] = phi[39] + ce[m+5]
+  }
+  unorm[j+6] = unorm[j] + u[0,0,j]
+}
+`},
+		// ------- Figure 8: shared-dependent category -------
+		{Bench: "SU2COR", Name: "LOOPS_DO400", Fig: 8, Src: `
+program su2cor_loops_do400
+var gauge[96]
+var prop[64,24]
+var prop2[64,24]
+var corr[64,24]
+var trace[30]
+# Lattice propagator update: per site column k the propagator entries
+# are first-written and then re-consumed in the same segment (covered
+# reads) — the shared-dependent pattern; the plaquette trace recurrence
+# keeps the loop speculative.
+region loops_do400 loop k = 0 to 23 {
+  liveout prop, prop2, corr, trace
+  for i = 0 to 63 {
+    prop[i,k] = gauge[i] + gauge[i+16] - gauge[i+32]
+    prop2[i,k] = prop[i,k] * 2 + gauge[i+1]
+    corr[i,k] = prop[i,k] + prop2[i,k]
+  }
+  trace[k+6] = trace[k] + corr[0,k]
+}
+`},
+		{Bench: "HYDRO2D", Name: "FILTER_DO100", Fig: 8, Src: `
+program hydro2d_filter_do100
+var zz[80]
+var fz[72,24]
+var gz[72,24]
+var hz[72,24]
+var fsum[30]
+# Filtering pass: smoothed fields are first-written per cell, then
+# reused within the segment; the diagnostic recurrence serializes the
+# analysis but not the runtime.
+region filter_do100 loop k = 0 to 23 {
+  liveout fz, gz, hz, fsum
+  for i = 1 to 62 {
+    fz[i,k] = zz[i-1] + 2 * zz[i] + zz[i+1]
+    gz[i,k] = fz[i,k] - zz[i]
+    hz[i,k] = fz[i,k] + gz[i,k]
+  }
+  fsum[k+6] = fsum[k] + hz[1,k]
+}
+`},
+		{Bench: "APSI", Name: "DCDTZ_DO30", Fig: 8, Src: `
+program apsi_dcdtz_do30
+var dcdx[80]
+var dkzh[80]
+var help[72,24]
+var helpa[72,24]
+var topflx[30]
+# Vertical diffusion step: per column k the working fields are
+# first-written and immediately re-read; the top-flux recurrence keeps
+# the loop out of reach of static parallelization.
+region dcdtz_do30 loop k = 0 to 23 {
+  liveout help, helpa, topflx
+  for i = 1 to 62 {
+    help[i,k] = dcdx[i] + dkzh[i]
+    helpa[i,k] = help[i,k] * 2 - dkzh[i+1]
+    help[i,k] = help[i,k] + helpa[i,k]
+  }
+  topflx[k+6] = topflx[k] + help[1,k]
+}
+`},
+		// ------- Figure 9: fully-independent regions -------
+		{Bench: "MGRID", Name: "RESID_DO600", Fig: 9, Src: `
+program mgrid_resid_do600
+var u[34,34]
+var v[34,34]
+var r[34,34]
+# Residual stencil: plane sweeps are fully independent, but each
+# segment touches far more locations than the speculative storage can
+# hold, so HOSE serializes on overflow while CASE runs at full
+# parallelism with nothing tracked at all.
+region resid_do600 loop i2 = 1 to 30 {
+  liveout r
+  for i1 = 1 to 30 {
+    r[i1,i2] = v[i1,i2] - 6 * u[i1,i2] + u[i1-1,i2] + u[i1+1,i2] + u[i1,i2-1] + u[i1,i2+1]
+  }
+}
+`},
+		{Bench: "MGRID", Name: "PSINV_DO600", Fig: 9, Src: `
+program mgrid_psinv_do600
+var r[44,34]
+var u[44,34]
+var c[4]
+# Smoother: same fully-independent shape as the residual sweep, applied
+# back to u (a read-modify-write, idempotent by Lemma 7).
+region psinv_do600 loop i2 = 1 to 30 {
+  liveout u
+  for i1 = 1 to 40 {
+    u[i1,i2] = u[i1,i2] + c[0] * r[i1,i2] + c[1] * (r[i1-1,i2] + r[i1+1,i2] + r[i1,i2-1] + r[i1,i2+1])
+  }
+}
+`},
+		{Bench: "MGRID", Name: "ZRAN3_DO400", Fig: 9, Src: `
+program mgrid_zran3_do400
+var z[160,34]
+var best[34]
+# Grid (re)initialization: almost every reference is a shared write,
+# the "write shared" flavour of the fully-independent category.
+region zran3_do400 loop i2 = 0 to 29 {
+  liveout z, best
+  for i1 = 0 to 159 {
+    z[i1,i2] = i1 - i2
+  }
+  best[i2] = z[0,i2]
+}
+`},
+	}
+}
+
+// FindLoop returns the named loop spec.
+func FindLoop(bench, name string) (LoopSpec, bool) {
+	for _, s := range NamedLoops() {
+		if s.Bench == bench && s.Name == name {
+			return s, true
+		}
+	}
+	return LoopSpec{}, false
+}

@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+
+	"refidem/internal/ir"
+)
+
+// Mix sets how many units of each idempotency category a benchmark's
+// non-parallelizable section executes per segment. Each unit expands to a
+// fixed reference pattern whose labels are known (and verified by tests):
+//
+//	RO unit:   8 reads of read-only arrays + 1 first-write (9 refs)
+//	Priv unit: a private-scalar chain (6 private refs)
+//	SD unit:   1 read-only read + 2 first-writes + 2 covered reads (5 refs)
+//	Spec unit: a serial accumulator read-modify-write (2 speculative refs)
+//
+// The actually reported fractions are measured by running the real
+// analysis and simulator on the expanded program — the Mix only shapes the
+// code, nothing is hard-coded.
+type Mix struct {
+	RO   int
+	Priv int
+	SD   int
+	Spec int
+}
+
+// Benchmark is one entry of the paper's 13-program suite (Figure 5).
+type Benchmark struct {
+	Name string
+	// FullyParallel marks programs whose every region the compiler
+	// parallelizes (SWIM, TRFD, ARC2D): they have no non-parallelizable
+	// sections, so the Figure 5 fraction is reported over an empty set.
+	FullyParallel bool
+	Mix           Mix
+	Iters         int
+}
+
+// Suite returns the 13 benchmarks of Figure 5 with mixes following the
+// paper's qualitative description (DESIGN.md §4).
+func Suite() []Benchmark {
+	return []Benchmark{
+		{Name: "APPLU", Mix: Mix{RO: 4, Priv: 1, SD: 4, Spec: 14}, Iters: 16},
+		{Name: "APSI", Mix: Mix{RO: 5, Priv: 1, SD: 1, Spec: 20}, Iters: 16},
+		{Name: "ARC2D", FullyParallel: true},
+		{Name: "BDNA", Mix: Mix{RO: 6, Priv: 3, SD: 1, Spec: 16}, Iters: 16},
+		{Name: "FPPPP", Mix: Mix{RO: 0, Priv: 0, SD: 1, Spec: 14}, Iters: 16},
+		{Name: "HYDRO2D", Mix: Mix{RO: 6, Priv: 0, SD: 2, Spec: 18}, Iters: 16},
+		{Name: "MGRID", Mix: Mix{RO: 4, Priv: 0, SD: 9, Spec: 13}, Iters: 16},
+		{Name: "SU2COR", Mix: Mix{RO: 3, Priv: 2, SD: 1, Spec: 22}, Iters: 16},
+		{Name: "SWIM", FullyParallel: true},
+		{Name: "TOMCATV", Mix: Mix{RO: 9, Priv: 1, SD: 0, Spec: 9}, Iters: 16},
+		{Name: "TRFD", FullyParallel: true},
+		{Name: "TURB3D", Mix: Mix{RO: 4, Priv: 5, SD: 0, Spec: 15}, Iters: 16},
+		{Name: "WAVE5", Mix: Mix{RO: 8, Priv: 1, SD: 2, Spec: 15}, Iters: 16},
+	}
+}
+
+// Program expands the benchmark's non-parallelizable section into an
+// executable program. Fully parallel benchmarks return a small
+// fully-independent region (which Lemma 7 makes entirely idempotent and
+// which the Figure 5 metric excludes, because it is not a
+// non-parallelizable section).
+func (b Benchmark) Program() *ir.Program {
+	if b.FullyParallel {
+		return fullyParallelProgram(b.Name)
+	}
+	return MixProgram(b.Name, b.Iters, b.Mix)
+}
+
+// fullyParallelProgram is a trivially independent streaming loop.
+func fullyParallelProgram(name string) *ir.Program {
+	p := ir.NewProgram(name)
+	src := p.AddVar("src", 64)
+	dst := p.AddVar("dst", 64)
+	r := &ir.Region{Name: "stream", Kind: ir.LoopRegion, Index: "k", From: 0, To: 31, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Name: "iter", Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(dst, ir.Idx("k")), RHS: ir.AddE(ir.Rd(src, ir.Idx("k")), ir.C(1))},
+		}}}}
+	r.Ann.LiveOut = map[string]bool{"dst": true}
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}
+
+// MixProgram expands a Mix into one loop region of iters iterations.
+func MixProgram(name string, iters int, m Mix) *ir.Program {
+	p := ir.NewProgram(name)
+	pad := m.RO + m.SD + 16
+	ro1 := p.AddVar("ro1", iters+pad)
+	ro2 := p.AddVar("ro2", iters+pad)
+	var body []ir.Stmt
+	k := ir.Idx("k")
+
+	// RO units: wide read-only gathers into per-unit first-write rows.
+	if m.RO > 0 {
+		gout := p.AddVar("gout", m.RO, iters)
+		for u := 0; u < m.RO; u++ {
+			sum := ir.Rd(ro1, ir.AddE(k, ir.C(int64(u))))
+			for j := 1; j < 8; j++ {
+				src := ro1
+				if j%2 == 1 {
+					src = ro2
+				}
+				sum = ir.AddE(sum, ir.Rd(src, ir.AddE(k, ir.C(int64(u+j)))))
+			}
+			body = append(body, &ir.Assign{LHS: ir.Wr(gout, ir.C(int64(u)), k), RHS: sum})
+		}
+	}
+	// Private units: write-first scalar chains, dead after the segment.
+	if m.Priv > 0 {
+		pw := p.AddVar("pw", m.Priv)
+		for u := 0; u < m.Priv; u++ {
+			uC := ir.C(int64(u))
+			body = append(body,
+				&ir.Assign{LHS: ir.Wr(pw, uC), RHS: ir.AddE(k, uC)},
+				&ir.Assign{LHS: ir.Wr(pw, uC), RHS: ir.AddE(ir.Rd(pw, uC), ir.Rd(pw, uC))},
+				&ir.Assign{LHS: ir.Wr(pw, uC), RHS: ir.AddE(ir.Rd(pw, uC), ir.C(1))},
+			)
+		}
+	}
+	// SD units: first-write then covered reads (the shared-dependent
+	// category).
+	if m.SD > 0 {
+		sd1 := p.AddVar("sd1", m.SD, iters)
+		sd2 := p.AddVar("sd2", m.SD, iters)
+		for u := 0; u < m.SD; u++ {
+			uC := ir.C(int64(u))
+			body = append(body,
+				&ir.Assign{LHS: ir.Wr(sd1, uC, k),
+					RHS: ir.AddE(ir.Rd(ro1, ir.AddE(k, uC)), ir.C(1))},
+				&ir.Assign{LHS: ir.Wr(sd2, uC, k),
+					RHS: ir.AddE(ir.Rd(sd1, uC, k), ir.Rd(sd1, uC, k))},
+			)
+		}
+	}
+	// Speculative units: serial accumulators (cross-segment flow sinks).
+	if m.Spec > 0 {
+		acc := p.AddVar("acc", m.Spec)
+		for u := 0; u < m.Spec; u++ {
+			uC := ir.C(int64(u))
+			body = append(body, &ir.Assign{
+				LHS: ir.Wr(acc, uC),
+				RHS: ir.AddE(ir.Rd(acc, uC), ir.AddE(k, uC)),
+			})
+		}
+	}
+
+	r := &ir.Region{Name: fmt.Sprintf("%s_nonpar", name), Kind: ir.LoopRegion,
+		Index: "k", From: 0, To: iters - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Name: "iter", Body: body}}}
+	live := map[string]bool{}
+	for _, v := range p.Vars {
+		switch v.Name {
+		case "ro1", "ro2", "pw":
+		default:
+			live[v.Name] = true
+		}
+	}
+	if m.Priv > 0 {
+		r.Ann.Private = map[string]bool{"pw": true}
+	}
+	r.Ann.LiveOut = live
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}

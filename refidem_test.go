@@ -1,0 +1,104 @@
+package refidem
+
+import (
+	"strings"
+	"testing"
+
+	"refidem/internal/workloads"
+)
+
+const quickSrc = `
+program quick
+var a[64]
+var b[64]
+var sum[40]
+region main loop k = 0 to 31 {
+  liveout a, sum
+  a[k] = b[k] * 2 + b[k+1]
+  sum[k+6] = sum[k] + a[k]
+}
+`
+
+func TestParseLabelRun(t *testing.T) {
+	p, err := ParseProgram(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CaseSpeedup() <= 1 {
+		t.Errorf("CASE speedup %.2f, want > 1", rs.CaseSpeedup())
+	}
+	if f := rs.IdempotentFraction(); f < 0.5 {
+		t.Errorf("idempotent fraction %.2f, want > 0.5", f)
+	}
+	if rs.Hose == nil || rs.Seq == nil || rs.Case == nil {
+		t.Error("missing results")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := ParseProgram("program broken region"); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestRunRejectsInvalidProgram(t *testing.T) {
+	p, err := ParseProgram(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Regions[0].Segments = nil
+	if _, err := Run(p, DefaultConfig()); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestLabelFacade(t *testing.T) {
+	p := workloads.Figure2()
+	labs := LabelProgram(p)
+	if len(labs) != 1 {
+		t.Fatalf("got %d labelings", len(labs))
+	}
+	lab := LabelRegion(p, p.Regions[0])
+	if lab == nil || len(lab.Labels) == 0 {
+		t.Fatal("empty labeling")
+	}
+	counts := map[Label]int{}
+	for _, l := range lab.Labels {
+		counts[l]++
+	}
+	if counts[Idempotent] == 0 || counts[Speculative] == 0 {
+		t.Errorf("figure 2 should mix labels: %v", counts)
+	}
+}
+
+func TestRunOnPaperExamples(t *testing.T) {
+	for _, p := range []*Program{
+		workloads.IntroExample(), workloads.Figure2(), workloads.Figure3(), workloads.ButsDO1(6),
+	} {
+		rs, err := Run(p, DefaultConfig())
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
+		if rs.Case.Stats.DynRefs == 0 {
+			t.Errorf("%s: nothing executed", p.Name)
+		}
+	}
+}
+
+func TestCategoryConstantsRoundTrip(t *testing.T) {
+	names := []string{
+		CatSpeculative.String(), CatFullyIndependent.String(),
+		CatReadOnly.String(), CatPrivate.String(), CatSharedDependent.String(),
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"speculative", "fully-independent", "read-only", "private", "shared-dependent"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing category name %q", want)
+		}
+	}
+}
