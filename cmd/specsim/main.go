@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"refidem/internal/engine"
@@ -31,6 +33,8 @@ func main() {
 	procs := flag.Int("procs", 4, "processor count")
 	capacity := flag.Int("capacity", 128, "speculative storage capacity (entries per segment)")
 	trace := flag.Bool("trace", false, "stream the engine event trace to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -38,6 +42,33 @@ func main() {
 			fmt.Printf("  %-24s (figure %d)\n", s.String(), s.Fig)
 		}
 		return
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "specsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "specsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "specsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "specsim:", err)
+			}
+		}()
 	}
 	p, err := loadProgram(*loop, *file)
 	if err != nil {

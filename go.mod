@@ -1,0 +1,3 @@
+module refidem
+
+go 1.24

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"refidem/internal/idem"
 	"refidem/internal/ir"
 )
@@ -85,13 +88,35 @@ func (l *Layout) Addr(v *ir.Var, subs []int64, privateHere bool, slot int) int64
 	return l.Base[v] + idx
 }
 
+// memTemplates caches seeded memory images by (size, seed), so repeated
+// runs (sweeps, benchmarks) fill fresh memories with one copy instead of
+// re-hashing every word. Bounded to keep pathological seed churn from
+// pinning memory.
+var (
+	memTemplates     sync.Map // [2]int64{total, seed} -> []int64
+	memTemplateCount atomic.Int64
+	memTemplateLimit = int64(64)
+)
+
 // NewMemory allocates and deterministically fills the flat memory image.
 // Values are small integers derived from the seed so programs compute on
 // non-trivial data while staying far from overflow.
 func NewMemory(l *Layout, seed int64) []int64 {
+	key := [2]int64{l.Total, seed}
 	mem := make([]int64, l.Total)
+	if t, ok := memTemplates.Load(key); ok {
+		copy(mem, t.([]int64))
+		return mem
+	}
 	for i := range mem {
 		mem[i] = seededValue(seed, int64(i))
+	}
+	if memTemplateCount.Load() < memTemplateLimit {
+		t := make([]int64, len(mem))
+		copy(t, mem)
+		if _, loaded := memTemplates.LoadOrStore(key, t); !loaded {
+			memTemplateCount.Add(1)
+		}
 	}
 	return mem
 }

@@ -19,10 +19,11 @@ func RunSequential(p *ir.Program, cfg Config) (*Result, error) {
 	res := &Result{Mode: Sequential, Layout: layout, Memory: mem}
 
 	var events int64
+	var m *vm.Machine
 	for _, r := range p.Regions {
-		codes := compileRegion(r)
+		rc := cachedRegion(r)
+		codes, iters := rc.codes, rc.iters
 		segID := entrySegment(r)
-		iters := r.IndexValues()
 		iterAt := 0
 		for {
 			var seg *ir.Segment
@@ -39,7 +40,11 @@ func RunSequential(p *ir.Program, cfg Config) (*Result, error) {
 				}
 				seg = r.Seg(segID)
 			}
-			m := vm.NewMachine(codes[seg.ID], idxVal)
+			if m == nil {
+				m = vm.NewMachine(codes[seg.ID], idxVal)
+			} else {
+				m.Reinit(codes[seg.ID], idxVal)
+			}
 			for {
 				ev, ops := m.Step()
 				res.Cycles += int64(ops) * cfg.OpCost

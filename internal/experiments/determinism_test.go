@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"refidem/internal/engine"
+)
+
+// marshal renders experiment rows to canonical JSON bytes for
+// byte-identity comparison.
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFigure5Deterministic proves the labeling cache and the engine's
+// pooling did not break the submission-order determinism promised by
+// internal/parallel: Figure 5 regenerated serially and with full fan-out
+// must be byte-identical, run after run.
+func TestFigure5Deterministic(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	cfg.Processors = 2
+
+	var outs [][]byte
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			rows, err := Figure5(cfg, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			outs = append(outs, marshal(t, rows))
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("Figure5 output %d differs from output 0:\n%s\nvs\n%s", i, outs[i], outs[0])
+		}
+	}
+}
+
+// TestFigureLoopsDeterministic is the loop-figure counterpart: Figure 6
+// serially and with full fan-out, twice, byte-identical.
+func TestFigureLoopsDeterministic(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	cfg.Processors = 2
+
+	var outs [][]byte
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			rows, err := FigureLoops(6, cfg, workers)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			js := make([]LoopJSON, len(rows))
+			for i, lr := range rows {
+				js[i] = toLoopJSON(lr)
+			}
+			outs = append(outs, marshal(t, js))
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("FigureLoops(6) output %d differs from output 0:\n%s\nvs\n%s", i, outs[i], outs[0])
+		}
+	}
+}

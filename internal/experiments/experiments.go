@@ -37,6 +37,21 @@ type LoopResult struct {
 	CaseStats engine.Stats
 }
 
+// labelCache memoizes program labelings by content fingerprint across
+// every experiment and sweep in the process. Sweeps rebuild the same
+// program per point; the cache runs dataflow+deps+RFW+Algorithm 2 (and
+// the theorem cross-check) once per distinct program and shares the
+// canonical labeled program with all workers — parallel.Map fan-outs
+// included, since the cache is concurrency-safe.
+var labelCache = idem.NewProgramCache(128)
+
+// LabelCacheStats exposes the shared labeling cache's hit/miss counters
+// (tests assert sweeps label each program exactly once).
+func LabelCacheStats() (hits, misses int64) { return labelCache.Stats() }
+
+// ResetLabelCache clears the shared labeling cache and its counters.
+func ResetLabelCache() { labelCache.Purge() }
+
 // RunLoop executes one named loop under all three models and cross-checks
 // correctness (any mismatch is an error: the experiments refuse to report
 // numbers from a broken run).
@@ -46,14 +61,9 @@ func RunLoop(spec workloads.LoopSpec, cfg engine.Config) (LoopResult, error) {
 }
 
 func runProgram(p *ir.Program, cfg engine.Config, out LoopResult) (LoopResult, error) {
-	if err := p.Validate(); err != nil {
+	p, labs, err := labelCache.Labeled(p)
+	if err != nil {
 		return out, fmt.Errorf("%s: %w", p.Name, err)
-	}
-	labs := idem.LabelProgram(p)
-	for r, res := range labs {
-		if errs := res.CheckTheorems(); len(errs) > 0 {
-			return out, fmt.Errorf("%s region %s: theorem check failed: %v", p.Name, r.Name, errs[0])
-		}
 	}
 	seq, err := engine.RunSequential(p, cfg)
 	if err != nil {

@@ -1,0 +1,19 @@
+package ir
+
+import "crypto/sha256"
+
+// Fingerprint is a content hash of a program: two programs with equal
+// fingerprints are structurally identical (same variables, regions,
+// segments, statements, annotations) even when built as distinct object
+// graphs. It keys caches that memoize per-program analysis results — the
+// execution-fingerprint idiom — so sweeps that rebuild the same program
+// per point can share one labeling.
+type Fingerprint [sha256.Size]byte
+
+// FingerprintOf computes the content fingerprint. It hashes the
+// program's canonical mini-language rendering: Format round-trips through
+// the parser (property-tested), which makes it a faithful serialization
+// of everything the analyses see.
+func FingerprintOf(p *Program) Fingerprint {
+	return sha256.Sum256([]byte(p.Format()))
+}

@@ -1,0 +1,28 @@
+package ir
+
+import "testing"
+
+func fpProgram(bound int) *Program {
+	p := NewProgram("fp_test")
+	a := p.AddVar("a", 16)
+	seg := &Segment{ID: 0, Name: "body", Body: []Stmt{
+		&Assign{LHS: Wr(a, Idx("i")), RHS: AddE(Rd(a, Idx("i")), C(1))},
+	}}
+	r := &Region{Name: "loop", Kind: LoopRegion, Index: "i", From: 0, To: bound, Step: 1,
+		Segments: []*Segment{seg}}
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	if FingerprintOf(fpProgram(7)) != FingerprintOf(fpProgram(7)) {
+		t.Error("structurally identical programs got different fingerprints")
+	}
+}
+
+func TestFingerprintSeparatesContent(t *testing.T) {
+	if FingerprintOf(fpProgram(7)) == FingerprintOf(fpProgram(8)) {
+		t.Error("programs with different trip counts share a fingerprint")
+	}
+}

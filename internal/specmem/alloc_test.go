@@ -1,0 +1,74 @@
+package specmem
+
+import "testing"
+
+// TestBufferInsertAllocationFree pins the open-addressed buffer's hot
+// operations at zero allocations: inserts, lookups, upgrades and resets
+// must never touch the heap once the buffer is built.
+func TestBufferInsertAllocationFree(t *testing.T) {
+	b := NewBuffer(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		for a := int64(0); a < 64; a++ {
+			if !b.Write(a*7, a) {
+				t.Fatal("unexpected overflow")
+			}
+		}
+		for a := int64(0); a < 64; a++ {
+			if b.Lookup(a*7) == nil {
+				t.Fatal("lost entry")
+			}
+		}
+		b.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("Buffer write/lookup/reset cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestBufferNoteReadAllocationFree covers the read-tracking path.
+func TestBufferNoteReadAllocationFree(t *testing.T) {
+	b := NewSetAssocBuffer(8, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		for a := int64(0); a < 32; a++ {
+			b.NoteRead(a, a, -1)
+		}
+		b.PrematureRead(3, 1)
+		b.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("Buffer note-read/reset cycle allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestAppendWrittenReusesScratch pins the commit path: with a
+// pre-grown scratch slice, draining written entries allocates nothing.
+func TestAppendWrittenReusesScratch(t *testing.T) {
+	b := NewBuffer(32)
+	scratch := make([]Entry, 0, 32)
+	allocs := testing.AllocsPerRun(100, func() {
+		for a := int64(0); a < 32; a++ {
+			b.Write(31-a, a)
+		}
+		scratch = b.AppendWritten(scratch[:0])
+		if len(scratch) != 32 {
+			t.Fatalf("got %d written entries, want 32", len(scratch))
+		}
+		b.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("AppendWritten allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCacheAccessAllocationFree pins the hierarchy timing model.
+func TestCacheAccessAllocationFree(t *testing.T) {
+	h := NewHierarchy(2, DefaultHierarchy())
+	allocs := testing.AllocsPerRun(100, func() {
+		for a := int64(0); a < 512; a++ {
+			h.Access(int(a)&1, a*3)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Hierarchy.Access allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,16 +1,27 @@
 package specmem
 
+import "math/bits"
+
 // Cache is a set-associative LRU cache model used for timing only (values
-// live in the flat memory array). Addresses are in words.
+// live in the flat memory array). Addresses are in words. Tags and
+// recency counters live in flat ways-strided arrays (better locality than
+// per-set slices), and each set remembers its most-recently-used way so
+// the common repeated-hit case skips the way scan entirely.
 type Cache struct {
 	sets       int
 	ways       int
 	blockWords int64
-	// lines[set][way] holds block tags; lru[set][way] holds recency
-	// counters (higher = more recent).
-	lines [][]int64
-	lru   [][]uint64
+	// lines[set*ways+way] holds block tags; lru[set*ways+way] holds
+	// recency counters (higher = more recent).
+	lines []int64
+	lru   []uint64
+	mru   []int32
 	tick  uint64
+
+	// blockShift/setMask are fast-path equivalents of the block division
+	// and set modulo when blockWords/sets are powers of two (-1 when not).
+	blockShift int
+	setMask    int64
 
 	Hits   int64
 	Misses int64
@@ -28,34 +39,74 @@ func NewCache(sets, ways int, blockWords int64) *Cache {
 	if blockWords < 1 {
 		blockWords = 1
 	}
-	c := &Cache{sets: sets, ways: ways, blockWords: blockWords}
-	c.lines = make([][]int64, sets)
-	c.lru = make([][]uint64, sets)
+	c := &Cache{sets: sets, ways: ways, blockWords: blockWords, blockShift: -1, setMask: -1}
+	if blockWords&(blockWords-1) == 0 {
+		c.blockShift = bits.TrailingZeros64(uint64(blockWords))
+	}
+	if s := int64(sets); s&(s-1) == 0 {
+		c.setMask = s - 1
+	}
+	c.lines = make([]int64, sets*ways)
+	c.lru = make([]uint64, sets*ways)
+	c.mru = make([]int32, sets)
 	for i := range c.lines {
-		c.lines[i] = make([]int64, ways)
-		c.lru[i] = make([]uint64, ways)
-		for w := range c.lines[i] {
-			c.lines[i][w] = -1
-		}
+		c.lines[i] = -1
 	}
 	return c
 }
 
 // Access touches addr and reports whether it hit. Misses allocate
-// (write-allocate for writes too), evicting the LRU way.
+// (write-allocate for writes too), evicting the LRU way. The body is the
+// inlinable MRU fast path (the overwhelmingly common repeated-hit case);
+// way scan and eviction live in accessSlow.
+//
+// Addresses are expected to be non-negative (engine layouts only produce
+// addresses >= 0); the floor semantics in blockOf/setIndex are defensive,
+// but a negative address in [-blockWords, -1] would map to block -1 and
+// collide with the empty-line sentinel (a cold lookup would count as a
+// hit), so callers must not rely on negative-address behavior.
 func (c *Cache) Access(addr int64) bool {
-	block := addr / c.blockWords
+	block := c.blockOf(addr)
+	set := c.setIndex(block)
+	c.tick++
+	base := set * c.ways
+	if m := base + int(c.mru[set]); c.lines[m] == block {
+		c.lru[m] = c.tick
+		c.Hits++
+		return true
+	}
+	return c.accessSlow(block, set, base)
+}
+
+// blockOf maps an address to its block number (floor division).
+func (c *Cache) blockOf(addr int64) int64 {
+	if c.blockShift >= 0 {
+		return addr >> c.blockShift // floor division for any sign
+	}
 	if addr < 0 {
-		block = (addr - c.blockWords + 1) / c.blockWords
+		return (addr - c.blockWords + 1) / c.blockWords
+	}
+	return addr / c.blockWords
+}
+
+// setIndex maps a block to its set (floor modulo).
+func (c *Cache) setIndex(block int64) int {
+	if c.setMask >= 0 {
+		return int(block & c.setMask) // two's-complement low bits == floor mod
 	}
 	set := int(block % int64(c.sets))
 	if set < 0 {
 		set += c.sets
 	}
-	c.tick++
-	for w, tag := range c.lines[set] {
-		if tag == block {
-			c.lru[set][w] = c.tick
+	return set
+}
+
+// accessSlow is the non-MRU tail of Access: scan the ways, or evict LRU.
+func (c *Cache) accessSlow(block int64, set, base int) bool {
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == block {
+			c.lru[base+w] = c.tick
+			c.mru[set] = int32(w)
 			c.Hits++
 			return true
 		}
@@ -63,12 +114,13 @@ func (c *Cache) Access(addr int64) bool {
 	// Miss: evict LRU.
 	victim := 0
 	for w := 1; w < c.ways; w++ {
-		if c.lru[set][w] < c.lru[set][victim] {
+		if c.lru[base+w] < c.lru[base+victim] {
 			victim = w
 		}
 	}
-	c.lines[set][victim] = block
-	c.lru[set][victim] = c.tick
+	c.lines[base+victim] = block
+	c.lru[base+victim] = c.tick
+	c.mru[set] = int32(victim)
 	c.Misses++
 	return false
 }
@@ -79,10 +131,11 @@ func (c *Cache) Reset() {
 	c.Hits = 0
 	c.Misses = 0
 	for i := range c.lines {
-		for w := range c.lines[i] {
-			c.lines[i][w] = -1
-			c.lru[i][w] = 0
-		}
+		c.lines[i] = -1
+		c.lru[i] = 0
+	}
+	for i := range c.mru {
+		c.mru[i] = 0
 	}
 }
 
@@ -113,8 +166,10 @@ func DefaultHierarchy() HierarchyConfig {
 // the engine's flat memory.
 type Hierarchy struct {
 	cfg HierarchyConfig
-	l1  []*Cache
-	l2  *Cache
+	// l1 holds the per-processor L1 caches by value: one indexed load in
+	// Access instead of chasing a pointer per event.
+	l1 []Cache
+	l2 *Cache
 
 	Accesses int64
 }
@@ -122,8 +177,9 @@ type Hierarchy struct {
 // NewHierarchy builds the hierarchy for the given processor count.
 func NewHierarchy(procs int, cfg HierarchyConfig) *Hierarchy {
 	h := &Hierarchy{cfg: cfg, l2: NewCache(cfg.L2Sets, cfg.L2Ways, cfg.BlockWords)}
+	h.l1 = make([]Cache, procs)
 	for i := 0; i < procs; i++ {
-		h.l1 = append(h.l1, NewCache(cfg.L1Sets, cfg.L1Ways, cfg.BlockWords))
+		h.l1[i] = *NewCache(cfg.L1Sets, cfg.L1Ways, cfg.BlockWords)
 	}
 	return h
 }
@@ -147,9 +203,9 @@ func (h *Hierarchy) Access(proc int, addr int64) int64 {
 // L1MissRate returns the aggregate L1 miss rate (0 when unused).
 func (h *Hierarchy) L1MissRate() float64 {
 	var hits, misses int64
-	for _, c := range h.l1 {
-		hits += c.Hits
-		misses += c.Misses
+	for i := range h.l1 {
+		hits += h.l1[i].Hits
+		misses += h.l1[i].Misses
 	}
 	if hits+misses == 0 {
 		return 0

@@ -6,6 +6,7 @@
 package specmem
 
 import (
+	"slices"
 	"sort"
 )
 
@@ -28,24 +29,45 @@ type Entry struct {
 	SourceAge int
 }
 
+// slot is one open-addressing index cell. A slot is live only when its
+// epoch matches the buffer's current epoch, which lets Reset invalidate
+// the whole index in O(1) instead of zeroing it.
+type slot struct {
+	epoch uint32
+	ref   int32
+}
+
 // Buffer is one segment's speculative storage. Capacity is in entries; a
 // full buffer rejects new locations (speculative storage overflow, the
 // paper's key bottleneck). With sets > 1 the buffer is organized as a
 // set-associative structure — like the speculative versioning cache or
 // the Multiscalar ARB — and a new location is also rejected when its
 // address-indexed set is full, even if total capacity remains.
+//
+// Entries live in a dense, preallocated store indexed by an epoch-stamped
+// open-addressed hash table, so the squash/commit-heavy simulator hot path
+// never allocates: inserts append into the store, lookups probe the index,
+// and Reset recycles everything by bumping the epoch. Entry pointers
+// returned by Lookup and PrematureRead stay valid until the next Reset
+// (the store never grows past its preallocated capacity).
 type Buffer struct {
 	capacity int
 	sets     int
 	ways     int
-	entries  map[int64]*Entry
-	setCount []int
+	entries  []Entry
+	slots    []slot
+	mask     uint32
+	// hashShift selects the high bits of the multiplicative hash that
+	// index the slot table (64 - log2(len(slots))).
+	hashShift uint32
+	epoch     uint32
+	setCount  []int32
 }
 
 // NewBuffer returns an empty fully-associative buffer with the given
 // capacity (entries).
 func NewBuffer(capacity int) *Buffer {
-	return &Buffer{capacity: capacity, sets: 1, entries: make(map[int64]*Entry)}
+	return newBuffer(capacity, 1, 0)
 }
 
 // NewSetAssocBuffer returns an empty set-associative buffer with
@@ -57,12 +79,44 @@ func NewSetAssocBuffer(sets, ways int) *Buffer {
 	if ways < 1 {
 		ways = 1
 	}
-	return &Buffer{
-		capacity: sets * ways,
-		sets:     sets,
-		ways:     ways,
-		entries:  make(map[int64]*Entry),
-		setCount: make([]int, sets),
+	return newBuffer(sets*ways, sets, ways)
+}
+
+func newBuffer(capacity, sets, ways int) *Buffer {
+	b := &Buffer{capacity: capacity, sets: sets, ways: ways, epoch: 1}
+	n := 8
+	shift := uint32(61)
+	for n < 2*capacity {
+		n <<= 1
+		shift--
+	}
+	b.slots = make([]slot, n)
+	b.mask = uint32(n - 1)
+	b.hashShift = shift
+	if capacity > 0 {
+		b.entries = make([]Entry, 0, capacity)
+	}
+	if sets > 1 {
+		b.setCount = make([]int32, sets)
+	}
+	return b
+}
+
+// probe returns the slot index holding addr (found=true) or the first
+// free slot of its chain (found=false). The table is kept at most half
+// full, so a free slot always exists. Slots are indexed by the high bits
+// of a Fibonacci (multiplicative) hash — one multiply and one shift.
+func (b *Buffer) probe(addr int64) (idx uint32, found bool) {
+	h := uint32(uint64(addr)*0x9E3779B97F4A7C15>>b.hashShift) & b.mask
+	for {
+		s := b.slots[h]
+		if s.epoch != b.epoch {
+			return h, false
+		}
+		if b.entries[s.ref].Addr == addr {
+			return h, true
+		}
+		h = (h + 1) & b.mask
 	}
 }
 
@@ -79,27 +133,40 @@ func (b *Buffer) canAllocate(addr int64) bool {
 	if len(b.entries) >= b.capacity {
 		return false
 	}
-	if b.sets > 1 && b.setCount[b.setOf(addr)] >= b.ways {
+	if b.sets > 1 && b.setCount[b.setOf(addr)] >= int32(b.ways) {
 		return false
 	}
 	return true
 }
 
-func (b *Buffer) allocate(addr int64, e *Entry) {
-	b.entries[addr] = e
+// allocate appends a new entry and indexes it at the (free) slot idx.
+func (b *Buffer) allocate(idx uint32, e Entry) *Entry {
+	b.entries = append(b.entries, e)
+	b.slots[idx] = slot{epoch: b.epoch, ref: int32(len(b.entries) - 1)}
 	if b.sets > 1 {
-		b.setCount[b.setOf(addr)]++
+		b.setCount[b.setOf(e.Addr)]++
 	}
+	return &b.entries[len(b.entries)-1]
 }
 
 // Lookup returns the entry for addr, or nil.
-func (b *Buffer) Lookup(addr int64) *Entry { return b.entries[addr] }
+func (b *Buffer) Lookup(addr int64) *Entry {
+	idx, ok := b.probe(addr)
+	if !ok {
+		return nil
+	}
+	return &b.entries[b.slots[idx].ref]
+}
 
 // Size returns the number of occupied entries.
 func (b *Buffer) Size() int { return len(b.entries) }
 
 // Capacity returns the configured capacity.
 func (b *Buffer) Capacity() int { return b.capacity }
+
+// Sets returns the number of address-indexed sets (1 when fully
+// associative).
+func (b *Buffer) Sets() int { return b.sets }
 
 // Full reports whether total capacity is exhausted (set conflicts can
 // reject a specific address even when Full is false).
@@ -109,9 +176,11 @@ func (b *Buffer) Full() bool { return len(b.entries) >= b.capacity }
 // for non-speculative storage) with the given value. It reports false on
 // overflow (no room for a new entry).
 func (b *Buffer) NoteRead(addr, value int64, sourceAge int) bool {
-	if e, ok := b.entries[addr]; ok {
+	idx, ok := b.probe(addr)
+	if ok {
 		// The location is already tracked; reads of the segment's own
 		// value or repeated reads change nothing.
+		e := &b.entries[b.slots[idx].ref]
 		if !e.Written && !e.ReadFromBelow {
 			e.ReadFromBelow = true
 			e.SourceAge = sourceAge
@@ -122,13 +191,15 @@ func (b *Buffer) NoteRead(addr, value int64, sourceAge int) bool {
 	if !b.canAllocate(addr) {
 		return false
 	}
-	b.allocate(addr, &Entry{Addr: addr, Value: value, ReadFromBelow: true, SourceAge: sourceAge})
+	b.allocate(idx, Entry{Addr: addr, Value: value, ReadFromBelow: true, SourceAge: sourceAge})
 	return true
 }
 
 // Write records a write of value to addr. It reports false on overflow.
 func (b *Buffer) Write(addr, value int64) bool {
-	if e, ok := b.entries[addr]; ok {
+	idx, ok := b.probe(addr)
+	if ok {
+		e := &b.entries[b.slots[idx].ref]
 		e.Value = value
 		e.Written = true
 		return true
@@ -136,13 +207,23 @@ func (b *Buffer) Write(addr, value int64) bool {
 	if !b.canAllocate(addr) {
 		return false
 	}
-	b.allocate(addr, &Entry{Addr: addr, Value: value, Written: true})
+	b.allocate(idx, Entry{Addr: addr, Value: value, Written: true})
 	return true
 }
 
-// Clear discards all entries (rollback: HOSE Property 4).
-func (b *Buffer) Clear() {
-	b.entries = make(map[int64]*Entry)
+// Reset discards all entries without releasing storage (rollback — HOSE
+// Property 4 — and recycling on commit/spawn reuse the same buffer).
+func (b *Buffer) Reset() {
+	b.entries = b.entries[:0]
+	b.epoch++
+	if b.epoch == 0 {
+		// Epoch wrapped (after ~4 billion resets): physically clear the
+		// index so stale stamps cannot alias the restarted epoch.
+		for i := range b.slots {
+			b.slots[i] = slot{}
+		}
+		b.epoch = 1
+	}
 	if b.sets > 1 {
 		for i := range b.setCount {
 			b.setCount[i] = 0
@@ -150,17 +231,44 @@ func (b *Buffer) Clear() {
 	}
 }
 
+// Clear discards all entries; it is Reset under its historical name.
+func (b *Buffer) Clear() { b.Reset() }
+
 // WrittenEntries returns the segment-produced entries in address order
 // (the values a commit transfers to non-speculative storage).
 func (b *Buffer) WrittenEntries() []*Entry {
 	out := make([]*Entry, 0, len(b.entries))
-	for _, e := range b.entries {
-		if e.Written {
-			out = append(out, e)
+	for i := range b.entries {
+		if b.entries[i].Written {
+			out = append(out, &b.entries[i])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// AppendWritten appends the segment-produced entries to dst in address
+// order and returns the extended slice. It is the allocation-free commit
+// path: the engine passes a reusable scratch slice.
+func (b *Buffer) AppendWritten(dst []Entry) []Entry {
+	start := len(dst)
+	for i := range b.entries {
+		if b.entries[i].Written {
+			dst = append(dst, b.entries[i])
+		}
+	}
+	tail := dst[start:]
+	slices.SortFunc(tail, func(a, b Entry) int {
+		switch {
+		case a.Addr < b.Addr:
+			return -1
+		case a.Addr > b.Addr:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return dst
 }
 
 // PrematureRead returns the entry proving a premature read of addr
@@ -170,7 +278,7 @@ func (b *Buffer) WrittenEntries() []*Entry {
 // a value forwarded from the writer's own earlier version is stale once
 // the writer stores again.) Returns nil when no violation exists.
 func (b *Buffer) PrematureRead(addr int64, writerAge int) *Entry {
-	e := b.entries[addr]
+	e := b.Lookup(addr)
 	if e == nil || !e.ReadFromBelow {
 		return nil
 	}

@@ -37,11 +37,29 @@ const (
 	OpBranch
 	// OpHalt ends the segment.
 	OpHalt
+	// OpFusedTest is the peephole fusion of the Const/Bin/Jz triple the
+	// compiler emits for loop headers and comparisons against constants:
+	// Regs[Subs[0]] = Val; Regs[Dst] = BinOp(Regs[A], Val); jump to B when
+	// zero, else skip the two shadowed instructions. Counts as 3 ops.
+	OpFusedTest
+	// OpFusedStep is the fusion of the Const/Bin(Add)/Jump loop-tail
+	// triple: Regs[Subs[0]] = Val; Regs[Dst] += Val; jump to A. Counts as
+	// 3 ops.
+	OpFusedStep
+	// OpFusedImmR fuses Const/Bin with the constant as right operand:
+	// Regs[Subs[0]] = Val; Regs[Dst] = BinOp(Regs[A], Val). Counts as 2
+	// ops and skips the shadowed Bin.
+	OpFusedImmR
+	// OpFusedImmL is the left-operand variant:
+	// Regs[Subs[0]] = Val; Regs[Dst] = BinOp(Val, Regs[B]).
+	OpFusedImmL
 )
 
 var opNames = [...]string{
 	OpConst: "const", OpBin: "bin", OpLoad: "load", OpStore: "store",
 	OpJump: "jump", OpJz: "jz", OpExit: "exit", OpBranch: "branch", OpHalt: "halt",
+	OpFusedTest: "fused-test", OpFusedStep: "fused-step",
+	OpFusedImmR: "fused-imm-r", OpFusedImmL: "fused-imm-l",
 }
 
 func (o Op) String() string {
@@ -99,7 +117,57 @@ func Compile(seg *ir.Segment, regionIndex string) *Code {
 	} else {
 		c.emit(Instr{Op: OpHalt})
 	}
+	fuse(c.code)
 	return c.code
+}
+
+// fuse is a peephole pass over compiled code: the two three-instruction
+// idioms the compiler emits for inner-loop control (header test, index
+// step) collapse into single superinstructions. The shadowed original
+// instructions stay in place, so every jump target remains valid — a jump
+// into the middle of a fused triple simply executes the originals — and
+// the fused ops charge exactly the same 3-instruction cost, keeping cycle
+// accounting bit-identical.
+func fuse(code *Code) {
+	ins := code.Instrs
+	// Pass 1: three-instruction loop-control idioms.
+	for k := 0; k+2 < len(ins); k++ {
+		c, b, j := &ins[k], &ins[k+1], &ins[k+2]
+		if c.Op != OpConst || b.Op != OpBin {
+			continue
+		}
+		switch {
+		case j.Op == OpJz && b.B == c.Dst && b.A != c.Dst && j.A == b.Dst:
+			// Const bound; Bin cond = A <op> bound; Jz cond, target
+			ins[k] = Instr{Op: OpFusedTest, Dst: b.Dst, A: b.A, B: j.B,
+				Val: c.Val, BinOp: b.BinOp, Subs: []int{c.Dst}}
+			k += 2
+		case j.Op == OpJump && b.BinOp == ir.Add && b.A == b.Dst && b.B == c.Dst && b.A != c.Dst:
+			// Const step; Bin idx = idx + step; Jump target
+			ins[k] = Instr{Op: OpFusedStep, Dst: b.Dst, A: j.A,
+				Val: c.Val, Subs: []int{c.Dst}}
+			k += 2
+		}
+	}
+	// Pass 2: Const feeding an adjacent Bin (constant subscript and
+	// expression operands). Writing the constant register first keeps
+	// aliasing (A or B naming the constant register) exact.
+	for k := 0; k+1 < len(ins); k++ {
+		c, b := &ins[k], &ins[k+1]
+		if c.Op != OpConst || b.Op != OpBin {
+			continue
+		}
+		switch {
+		case b.B == c.Dst:
+			ins[k] = Instr{Op: OpFusedImmR, Dst: b.Dst, A: b.A,
+				Val: c.Val, BinOp: b.BinOp, Subs: []int{c.Dst}}
+			k++
+		case b.A == c.Dst:
+			ins[k] = Instr{Op: OpFusedImmL, Dst: b.Dst, B: b.B,
+				Val: c.Val, BinOp: b.BinOp, Subs: []int{c.Dst}}
+			k++
+		}
+	}
 }
 
 func (c *compiler) emit(i Instr) int {
@@ -221,7 +289,10 @@ const (
 	EvDone
 )
 
-// Event is what Machine.Step returns when it pauses.
+// Event is what Machine.Step returns when it pauses. Subs aliases a
+// per-machine scratch buffer: it is valid until the same machine's next
+// Step, Reset or Reinit (engines consume the subscripts immediately, or
+// park the whole event while the machine is frozen on a stall).
 type Event struct {
 	Kind  EventKind
 	Ref   *ir.Ref
@@ -244,6 +315,10 @@ type Machine struct {
 
 	pendingLoad bool
 	pendingDst  int
+
+	// subs is the scratch buffer memory events expose through Event.Subs;
+	// reusing it keeps the interpreter hot loop allocation-free.
+	subs []int64
 }
 
 // NewMachine creates a machine for the code with the region index value.
@@ -251,6 +326,38 @@ func NewMachine(code *Code, indexVal int64) *Machine {
 	m := &Machine{Code: code, Regs: make([]int64, maxInt(code.NumRegs, 1))}
 	m.Regs[RegionIndexReg] = indexVal
 	return m
+}
+
+// Reinit repoints the machine at (possibly different) code with a new
+// region index value, reusing the register file. It is the pooling
+// counterpart of NewMachine: recycled machines are Reinit-ed instead of
+// reallocated.
+func (m *Machine) Reinit(code *Code, indexVal int64) {
+	m.Code = code
+	n := maxInt(code.NumRegs, 1)
+	if cap(m.Regs) < n {
+		m.Regs = make([]int64, n)
+	} else {
+		m.Regs = m.Regs[:n]
+		for i := range m.Regs {
+			m.Regs[i] = 0
+		}
+	}
+	m.Regs[RegionIndexReg] = indexVal
+	m.PC = 0
+	m.ExitRequested = false
+	m.BranchVal = 0
+	m.Branched = false
+	m.done = false
+	m.pendingLoad = false
+}
+
+// scratchSubs returns the shared subscript buffer resized to n.
+func (m *Machine) scratchSubs(n int) []int64 {
+	if cap(m.subs) < n {
+		m.subs = make([]int64, n)
+	}
+	return m.subs[:n]
 }
 
 func maxInt(a, b int) int {
@@ -292,66 +399,153 @@ func (m *Machine) ResumeLoad(val int64) {
 // returns the event and the number of non-memory instructions executed
 // (for cycle accounting). Calling Step with an unresolved load panics.
 func (m *Machine) Step() (Event, int) {
+	var ev Event
+	ops := m.StepInto(&ev)
+	return ev, ops
+}
+
+// StepInto is Step writing the event into caller-owned storage, sparing
+// the hot engine loop a 56-byte struct copy per event.
+func (m *Machine) StepInto(ev *Event) int {
 	if m.pendingLoad {
 		panic("vm: Step with unresolved load")
 	}
 	ops := 0
+	// Hot interpreter loop: the program counter, instruction stream and
+	// register file live in locals so the compiler can keep them in
+	// registers; m.PC is written back at every exit point.
+	pc := m.PC
+	instrs := m.Code.Instrs
+	regs := m.Regs
 	for {
 		if m.done {
-			return Event{Kind: EvDone}, ops
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops
 		}
-		if m.PC >= len(m.Code.Instrs) {
+		if pc >= len(instrs) {
 			m.done = true
-			return Event{Kind: EvDone}, ops
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops
 		}
-		in := &m.Code.Instrs[m.PC]
+		in := &instrs[pc]
 		switch in.Op {
 		case OpConst:
-			m.Regs[in.Dst] = in.Val
-			m.PC++
+			regs[in.Dst] = in.Val
+			pc++
 			ops++
 		case OpBin:
-			m.Regs[in.Dst] = in.BinOp.Apply(m.Regs[in.A], m.Regs[in.B])
-			m.PC++
+			// Inline dispatch for the dominant arithmetic ops; the rest
+			// (comparisons, div, mod, ...) go through BinOp.Apply.
+			a, b := regs[in.A], regs[in.B]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = a + b
+			case ir.Sub:
+				v = a - b
+			case ir.Mul:
+				v = a * b
+			default:
+				v = in.BinOp.Apply(a, b)
+			}
+			regs[in.Dst] = v
+			pc++
 			ops++
 		case OpJump:
-			m.PC = in.A
+			pc = in.A
 			ops++
 		case OpJz:
-			if m.Regs[in.A] == 0 {
-				m.PC = in.B
+			if regs[in.A] == 0 {
+				pc = in.B
 			} else {
-				m.PC++
+				pc++
 			}
 			ops++
 		case OpExit:
 			m.ExitRequested = true
-			m.PC++
+			pc++
 			ops++
 		case OpLoad:
-			subs := make([]int64, len(in.Subs))
+			subs := m.scratchSubs(len(in.Subs))
 			for i, r := range in.Subs {
-				subs[i] = m.Regs[r]
+				subs[i] = regs[r]
 			}
 			m.pendingLoad = true
 			m.pendingDst = in.Dst
-			m.PC++
-			return Event{Kind: EvLoad, Ref: in.Ref, Subs: subs, dst: in.Dst}, ops + 1
+			m.PC = pc + 1
+			*ev = Event{Kind: EvLoad, Ref: in.Ref, Subs: subs, dst: in.Dst}
+			return ops + 1
 		case OpStore:
-			subs := make([]int64, len(in.Subs))
+			subs := m.scratchSubs(len(in.Subs))
 			for i, r := range in.Subs {
-				subs[i] = m.Regs[r]
+				subs[i] = regs[r]
 			}
-			m.PC++
-			return Event{Kind: EvStore, Ref: in.Ref, Subs: subs, Value: m.Regs[in.A]}, ops + 1
+			m.PC = pc + 1
+			*ev = Event{Kind: EvStore, Ref: in.Ref, Subs: subs, Value: regs[in.A]}
+			return ops + 1
 		case OpBranch:
-			m.BranchVal = m.Regs[in.A]
+			m.BranchVal = regs[in.A]
 			m.Branched = true
 			m.done = true
-			return Event{Kind: EvDone}, ops + 1
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops + 1
 		case OpHalt:
 			m.done = true
-			return Event{Kind: EvDone}, ops + 1
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops + 1
+		case OpFusedTest:
+			regs[in.Subs[0]] = in.Val
+			cond := in.BinOp.Apply(regs[in.A], in.Val)
+			regs[in.Dst] = cond
+			if cond == 0 {
+				pc = in.B
+			} else {
+				pc += 3
+			}
+			ops += 3
+		case OpFusedStep:
+			regs[in.Subs[0]] = in.Val
+			regs[in.Dst] += in.Val
+			pc = in.A
+			ops += 3
+		case OpFusedImmR:
+			regs[in.Subs[0]] = in.Val
+			a := regs[in.A]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = a + in.Val
+			case ir.Sub:
+				v = a - in.Val
+			case ir.Mul:
+				v = a * in.Val
+			default:
+				v = in.BinOp.Apply(a, in.Val)
+			}
+			regs[in.Dst] = v
+			pc += 2
+			ops += 2
+		case OpFusedImmL:
+			regs[in.Subs[0]] = in.Val
+			b := regs[in.B]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = in.Val + b
+			case ir.Sub:
+				v = in.Val - b
+			case ir.Mul:
+				v = in.Val * b
+			default:
+				v = in.BinOp.Apply(in.Val, b)
+			}
+			regs[in.Dst] = v
+			pc += 2
+			ops += 2
 		default:
 			panic(fmt.Sprintf("vm: unknown opcode %v", in.Op))
 		}
