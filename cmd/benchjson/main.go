@@ -4,9 +4,15 @@
 // optional -baseline file (same JSON shape) is embedded verbatim so a
 // results file can carry the reference numbers it is compared against.
 //
+// It is also the benchmark-regression gate: with -gate BASELINE.json the
+// freshly parsed numbers are compared against the baseline file's
+// benchmarks and the process exits non-zero if any gated benchmark's
+// ns/op regressed beyond -gate-max-regress or its allocs/op grew at all.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem | benchjson -o BENCH_results.json
+//	go test -run '^$' -bench 'BenchmarkEngine' -benchmem . | benchjson -gate BENCH_results.json
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -78,6 +85,9 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	baseline := flag.String("baseline", "", "JSON file with reference numbers to embed under \"baseline\"")
 	goVersion := flag.String("go", "", "toolchain version string to record")
+	gate := flag.String("gate", "", "baseline JSON file to gate against (exit 1 on regression)")
+	gatePrefix := flag.String("gate-prefix", "BenchmarkEngine", "only gate benchmarks with this name prefix")
+	gateMaxRegress := flag.Float64("gate-max-regress", 0.25, "maximum allowed ns/op regression (fraction over baseline)")
 	flag.Parse()
 
 	doc := Document{Go: *goVersion, Benchmarks: map[string]Result{}}
@@ -104,6 +114,15 @@ func main() {
 		}
 		doc.Baseline = base.Benchmarks
 	}
+	if *gate != "" {
+		if err := runGate(doc.Benchmarks, *gate, *gatePrefix, *gateMaxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if *out == "" {
+			return
+		}
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -118,4 +137,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runGate compares the measured benchmarks against the baseline file:
+// for every benchmark whose name starts with prefix and exists in both
+// sets, ns/op may regress by at most maxRegress (fractionally) and
+// allocs/op may not grow at all. Any violation is an error; so is a
+// gated baseline benchmark that was not measured.
+func runGate(got map[string]Result, baselineFile, prefix string, maxRegress float64) error {
+	raw, err := os.ReadFile(baselineFile)
+	if err != nil {
+		return err
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bad baseline %s: %w", baselineFile, err)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("baseline %s has no benchmarks with prefix %q", baselineFile, prefix)
+	}
+	var violations []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		g, ok := got[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: in baseline but not measured", name))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			violations = append(violations, fmt.Sprintf("%s: baseline ns/op is %v — unusable baseline", name, b.NsPerOp))
+			continue
+		}
+		ratio := g.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if ratio > maxRegress {
+			status = "REGRESSED"
+			violations = append(violations, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%% > %+.1f%%)",
+				name, g.NsPerOp, b.NsPerOp, 100*ratio, 100*maxRegress))
+		}
+		if g.AllocsPerOp > b.AllocsPerOp {
+			status = "REGRESSED"
+			violations = append(violations, fmt.Sprintf("%s: allocs/op grew %.0f -> %.0f",
+				name, b.AllocsPerOp, g.AllocsPerOp))
+		}
+		fmt.Printf("gate %-32s ns/op %12.0f (baseline %12.0f, %+6.1f%%)  allocs/op %6.0f (baseline %6.0f)  %s\n",
+			name, g.NsPerOp, b.NsPerOp, 100*ratio, g.AllocsPerOp, b.AllocsPerOp, status)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("gate passed: %d benchmarks within +%.0f%% ns/op and flat allocs\n", len(names), 100*maxRegress)
+	return nil
 }

@@ -1,0 +1,70 @@
+// Command fuzz is the batched, sharded differential-fuzzing driver: it
+// generates seeded scenario programs (internal/gen), pushes each through
+// the oracle wall (internal/fuzz) — validation, printer round-trip,
+// theorem conformance, sequential/HOSE/CASE final-memory equivalence
+// under the default and buffer-pressure machines, and the CASE occupancy
+// bound — then shrinks any failure to a minimal reproducer and writes it
+// to the seed corpus with its generator seed for byte-exact replay.
+//
+// The summary on stdout is deterministic: two runs with the same -seed,
+// -n and -profile print identical bytes, regardless of -shards.
+//
+// Usage:
+//
+//	fuzz -seed 1 -n 100                   # quick sweep, all profiles
+//	fuzz -shards 8 -n 2000                # the nightly configuration
+//	fuzz -profile pressure -n 500         # pin one scenario profile
+//	fuzz -corpus testdata/corpus -n 1000  # write minimized reproducers
+//	fuzz -break-labeling -n 50            # prove the wall catches faults
+//	fuzz -list-profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"refidem/internal/fuzz"
+	"refidem/internal/gen"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed; program i uses seed+i")
+	n := flag.Int("n", 500, "number of programs to generate and check")
+	shards := flag.Int("shards", 0, "parallel shards (0 = all cores); does not affect output")
+	profile := flag.String("profile", "all", "scenario profile to pin, or 'all' to rotate")
+	corpus := flag.String("corpus", "", "directory to write minimized reproducers to")
+	breakLab := flag.Bool("break-labeling", false,
+		"deliberately corrupt the labeling (force one speculative write idempotent): the wall must catch it")
+	shrinkLimit := flag.Int("shrink-limit", 20, "max failures to shrink (in index order)")
+	list := flag.Bool("list-profiles", false, "list scenario profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range gen.Profiles() {
+			fmt.Printf("%-12s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
+
+	sum, err := fuzz.Run(fuzz.Options{
+		Seed:          *seed,
+		N:             *n,
+		Shards:        *shards,
+		Profile:       *profile,
+		BreakLabeling: *breakLab,
+		CorpusDir:     *corpus,
+		ShrinkLimit:   *shrinkLimit,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(2)
+	}
+	fmt.Print(sum.Format())
+	if len(sum.Failures) > 0 {
+		if *breakLab {
+			fmt.Println("(failures are expected under -break-labeling)")
+		}
+		os.Exit(1)
+	}
+}

@@ -1,3 +1,3 @@
 module refidem
 
-go 1.24
+go 1.23

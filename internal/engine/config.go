@@ -108,6 +108,17 @@ func DefaultConfig() Config {
 	}
 }
 
+// PressureConfig returns the baseline machine shrunk to a tiny
+// speculative storage and a narrow processor window. Overflow, stall and
+// bypass paths dominate under it, which is exactly what the pressure
+// property tests and the fuzzer's pressure probe want to exercise.
+func PressureConfig() Config {
+	c := DefaultConfig()
+	c.SpecCapacity = 3
+	c.Processors = 3
+	return c
+}
+
 // Stats aggregates what happened during a run.
 type Stats struct {
 	// DynRefs counts dynamic references in retired (final) executions.

@@ -855,6 +855,17 @@ func (sr *specRunner) squashFrom(age int, t int64) {
 			sr.heapPush(inst)
 		}
 	}
+	// A squashed instance's completion outcome is void, including any
+	// region-exit decision it contributed: if a misspeculated early exit
+	// truncated the younger window and latched stopSpawn, the rolled-back
+	// segment may well not exit on re-execution, and the dropped
+	// iterations must be re-spawned (found by differential fuzzing: a
+	// stale-read exit condition followed by this flow squash silently
+	// lost the region tail). Clearing stopSpawn is always safe: spawnAll
+	// re-derives it from surviving state, and decisions a squash cannot
+	// touch — retired early exits, an exhausted iteration space — re-latch
+	// immediately via nextIdentity.
+	sr.stopSpawn = false
 }
 
 // complete handles segment completion: control-dependence verification

@@ -1,0 +1,129 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"refidem/internal/ir"
+	"refidem/internal/lang"
+)
+
+// Reproducer is one corpus entry: a minimized failing program together
+// with the metadata needed to regenerate the original byte-exactly
+// (generator seed + profile) and to understand the failure without
+// running anything.
+type Reproducer struct {
+	// Seed and Profile replay the original generation:
+	// gen.FromProfile(profile, seed) is the unshrunk program.
+	Seed    int64
+	Profile string
+	// Kind and Detail describe the oracle violation observed.
+	Kind   string
+	Detail string
+	// Stmts counts the statements of the minimized program.
+	Stmts int
+	// Source is the minimized program in mini-language syntax.
+	Source string
+	// Path is where the entry lives on disk (set by Load/Write).
+	Path string
+}
+
+// Program parses the reproducer source.
+func (r *Reproducer) Program() (*ir.Program, error) {
+	return lang.Parse(r.Source)
+}
+
+// header keys, in emission order.
+var headerKeys = []string{"seed", "profile", "kind", "detail", "stmts"}
+
+// WriteReproducer persists one corpus entry under dir. The file is a
+// self-contained mini-language program whose leading comments carry the
+// metadata; the name embeds the failure kind and the minimized program's
+// fingerprint, so re-found failures dedupe naturally.
+func WriteReproducer(dir string, r Reproducer) (string, error) {
+	p, err := r.Program()
+	if err != nil {
+		return "", fmt.Errorf("fuzz: reproducer source does not parse: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	fp := ir.FingerprintOf(p)
+	name := fmt.Sprintf("%s-%x.prog", r.Kind, fp[:6])
+	path := filepath.Join(dir, name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# refidem fuzz reproducer\n")
+	fmt.Fprintf(&b, "# seed: %d\n", r.Seed)
+	fmt.Fprintf(&b, "# profile: %s\n", r.Profile)
+	fmt.Fprintf(&b, "# kind: %s\n", r.Kind)
+	fmt.Fprintf(&b, "# detail: %s\n", strings.ReplaceAll(r.Detail, "\n", "; "))
+	fmt.Fprintf(&b, "# stmts: %d\n", r.Stmts)
+	b.WriteString(r.Source)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadReproducer loads one corpus file, splitting the metadata header
+// from the program text (which the parser re-checks).
+func ReadReproducer(path string) (Reproducer, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Reproducer{}, err
+	}
+	r := Reproducer{Path: path}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			// Metadata is the leading comment block only: comments
+			// inside the program body must not rewrite it.
+			break
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		key, val, ok := strings.Cut(body, ":")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "seed":
+			r.Seed, _ = strconv.ParseInt(val, 10, 64)
+		case "profile":
+			r.Profile = val
+		case "kind":
+			r.Kind = val
+		case "detail":
+			r.Detail = val
+		case "stmts":
+			r.Stmts, _ = strconv.Atoi(val)
+		}
+	}
+	r.Source = string(raw)
+	if _, err := r.Program(); err != nil {
+		return Reproducer{}, fmt.Errorf("fuzz: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// LoadCorpus reads every *.prog file under dir, sorted by name. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Reproducer, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.prog"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]Reproducer, 0, len(paths))
+	for _, path := range paths {
+		r, err := ReadReproducer(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

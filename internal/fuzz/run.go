@@ -1,0 +1,213 @@
+package fuzz
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"refidem/internal/gen"
+	"refidem/internal/ir"
+	"refidem/internal/parallel"
+)
+
+// Options configures a fuzzing run.
+type Options struct {
+	// Seed is the base seed; program i uses generator seed Seed+i, so a
+	// whole run is replayable and any single program is regenerable.
+	Seed int64
+	// N is the number of programs to generate and check.
+	N int
+	// Shards splits the run into contiguous index batches executed in
+	// parallel (<= 0 selects GOMAXPROCS). The result is independent of
+	// the shard count: results are merged in index order.
+	Shards int
+	// Profile pins one scenario profile by name; "" or "all" rotates
+	// through every registered profile by index.
+	Profile string
+	// BreakLabeling injects the deliberate labeling fault (see
+	// OracleOptions) — the wall's self-test.
+	BreakLabeling bool
+	// CorpusDir, when non-empty, receives a minimized reproducer file
+	// per failure.
+	CorpusDir string
+	// ShrinkLimit bounds how many failures are shrunk (in index order);
+	// later failures are still reported, unshrunk. <= 0 means 20.
+	ShrinkLimit int
+	// MaxShrinkEvals bounds oracle evaluations per shrink (<= 0: 4000).
+	MaxShrinkEvals int
+}
+
+// Failure is one fuzz finding.
+type Failure struct {
+	Index   int
+	Seed    int64
+	Profile string
+	Kind    string
+	Detail  string
+	// Stmts and ReducedStmts count statements before and after
+	// shrinking; Reduced is the minimized program source (equal to the
+	// original formatting when the failure was past the shrink limit).
+	Stmts        int
+	ReducedStmts int
+	Reduced      string
+	// File is the corpus path the reproducer was written to, if any.
+	File string
+}
+
+// Summary aggregates a run. Format() renders it deterministically: two
+// runs with equal Options (regardless of shard count) print identically.
+type Summary struct {
+	Seed      int64
+	N         int
+	Profile   string
+	Checked   int
+	ByProfile map[string]int
+	// Feature tallies over all generated scenarios.
+	CFGRegions, Indirect, Coupled, EarlyExit, Burst, Downto int
+	// Digest fingerprints the exact program sequence: sha256 over the
+	// concatenated program fingerprints in index order.
+	Digest   string
+	Failures []Failure
+}
+
+// Run generates N scenarios, drives each through the oracle wall in
+// Shards parallel batches, shrinks failures and (optionally) writes
+// reproducers to the corpus directory.
+func Run(o Options) (*Summary, error) {
+	if o.N <= 0 {
+		return nil, fmt.Errorf("fuzz: n must be positive")
+	}
+	var rotation []gen.Profile
+	if o.Profile == "" || o.Profile == "all" {
+		rotation = gen.Profiles()
+	} else {
+		p, err := gen.ProfileByName(o.Profile)
+		if err != nil {
+			return nil, err
+		}
+		rotation = []gen.Profile{p}
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > o.N {
+		shards = o.N
+	}
+	shrinkLimit := o.ShrinkLimit
+	if shrinkLimit <= 0 {
+		shrinkLimit = 20
+	}
+	maxEvals := o.MaxShrinkEvals
+	if maxEvals <= 0 {
+		maxEvals = 4000
+	}
+
+	scenarios := make([]*gen.Scenario, o.N)
+	verdicts := make([]*Verdict, o.N)
+	oopts := OracleOptions{BreakLabeling: o.BreakLabeling}
+	parallel.ForEach(shards, shards, func(s int) {
+		lo, hi := s*o.N/shards, (s+1)*o.N/shards
+		for i := lo; i < hi; i++ {
+			sc := gen.FromProfile(rotation[i%len(rotation)], o.Seed+int64(i))
+			scenarios[i] = sc
+			verdicts[i] = CheckProgram(sc.Program, oopts)
+		}
+	})
+
+	sum := &Summary{
+		Seed: o.Seed, N: o.N, Profile: o.Profile,
+		ByProfile: make(map[string]int),
+	}
+	h := sha256.New()
+	shrunk := 0
+	for i, sc := range scenarios {
+		sum.Checked++
+		sum.ByProfile[sc.Profile]++
+		h.Write(sc.Fingerprint[:])
+		tally := func(on bool, c *int) {
+			if on {
+				*c++
+			}
+		}
+		tally(sc.CFGRegions > 0, &sum.CFGRegions)
+		tally(sc.Indirect, &sum.Indirect)
+		tally(sc.Coupled, &sum.Coupled)
+		tally(sc.EarlyExit, &sum.EarlyExit)
+		tally(sc.WriteBurst, &sum.Burst)
+		tally(sc.Downto, &sum.Downto)
+
+		v := verdicts[i]
+		if v == nil {
+			continue
+		}
+		f := Failure{
+			Index: i, Seed: sc.Seed, Profile: sc.Profile,
+			Kind: v.Kind, Detail: v.Detail,
+			Stmts: CountStmts(sc.Program),
+		}
+		reduced := sc.Program
+		if shrunk < shrinkLimit {
+			shrunk++
+			reduced = Shrink(sc.Program, func(cand *ir.Program) bool {
+				cv := CheckProgram(cand, oopts)
+				return cv != nil && cv.Kind == v.Kind
+			}, maxEvals)
+		}
+		f.Reduced = reduced.Format()
+		f.ReducedStmts = CountStmts(reduced)
+		if o.CorpusDir != "" {
+			path, err := WriteReproducer(o.CorpusDir, Reproducer{
+				Seed: sc.Seed, Profile: sc.Profile,
+				Kind: v.Kind, Detail: v.Detail,
+				Stmts: f.ReducedStmts, Source: f.Reduced,
+			})
+			if err != nil {
+				return nil, err
+			}
+			f.File = path
+		}
+		sum.Failures = append(sum.Failures, f)
+	}
+	sum.Digest = fmt.Sprintf("%x", h.Sum(nil))
+	return sum, nil
+}
+
+// Format renders the summary as deterministic text: no timing, no shard
+// count, map keys sorted.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	profile := s.Profile
+	if profile == "" {
+		profile = "all"
+	}
+	fmt.Fprintf(&b, "fuzz: seed=%d n=%d profile=%s\n", s.Seed, s.N, profile)
+	fmt.Fprintf(&b, "checked %d programs, %d failures\n", s.Checked, len(s.Failures))
+	fmt.Fprintf(&b, "sequence digest %s\n", s.Digest)
+	names := make([]string, 0, len(s.ByProfile))
+	for name := range s.ByProfile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("programs per profile:")
+	for _, name := range names {
+		fmt.Fprintf(&b, " %s=%d", name, s.ByProfile[name])
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "features: cfg=%d indirect=%d coupled=%d exits=%d bursts=%d downto=%d\n",
+		s.CFGRegions, s.Indirect, s.Coupled, s.EarlyExit, s.Burst, s.Downto)
+	for _, f := range s.Failures {
+		fmt.Fprintf(&b, "FAIL [%d] profile=%s seed=%d kind=%s stmts=%d->%d\n",
+			f.Index, f.Profile, f.Seed, f.Kind, f.Stmts, f.ReducedStmts)
+		fmt.Fprintf(&b, "  %s\n", f.Detail)
+		if f.File != "" {
+			fmt.Fprintf(&b, "  reproducer: %s\n", f.File)
+		}
+		for _, line := range strings.Split(strings.TrimRight(f.Reduced, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

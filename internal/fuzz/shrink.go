@@ -1,0 +1,361 @@
+package fuzz
+
+import (
+	"refidem/internal/ir"
+)
+
+// Shrink greedily minimizes a failing program: it tries structural
+// reductions (drop a region, shrink region trip counts, delete a
+// statement, unwrap a conditional, flatten an inner loop, zero an
+// expression, drop unused variables) and keeps any candidate on which
+// stillFailing holds, restarting until no reduction applies or maxEvals
+// candidate evaluations have been spent. The result is a fresh program;
+// the input is never mutated.
+func Shrink(p *ir.Program, stillFailing func(*ir.Program) bool, maxEvals int) *ir.Program {
+	cur := cloneProgram(p)
+	evals := 0
+	for {
+		reduced := false
+		for _, cand := range candidates(cur) {
+			if evals >= maxEvals {
+				return cur
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			evals++
+			if stillFailing(cand) {
+				cur = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return cur
+		}
+	}
+}
+
+// CountStmts counts every statement node of the program.
+func CountStmts(p *ir.Program) int {
+	n := 0
+	for _, r := range p.Regions {
+		for _, seg := range r.Segments {
+			ir.WalkStmts(seg.Body, func(ir.Stmt) { n++ })
+		}
+	}
+	return n
+}
+
+// cloneProgram deep-copies a program, remapping every reference onto the
+// clone's own variable table (reference identity and variable identity
+// both matter to the analyses).
+func cloneProgram(p *ir.Program) *ir.Program {
+	q := ir.NewProgram(p.Name)
+	vmap := make(map[*ir.Var]*ir.Var, len(p.Vars))
+	for _, v := range p.Vars {
+		vmap[v] = q.AddVar(v.Name, v.Dims...)
+	}
+	for _, r := range p.Regions {
+		nr := &ir.Region{
+			Name: r.Name, Kind: r.Kind,
+			Index: r.Index, From: r.From, To: r.To, Step: r.Step,
+		}
+		nr.Ann.Private = cloneSet(r.Ann.Private)
+		nr.Ann.LiveOut = cloneSet(r.Ann.LiveOut)
+		for _, seg := range r.Segments {
+			ns := &ir.Segment{
+				ID: seg.ID, Name: seg.Name,
+				Body:  ir.CloneStmts(seg.Body),
+				Succs: append([]int{}, seg.Succs...),
+			}
+			if seg.Branch != nil {
+				ns.Branch = ir.CloneExpr(seg.Branch)
+			}
+			remapStmts(ns.Body, vmap)
+			ns.Branch = remapExpr(ns.Branch, vmap)
+			nr.Segments = append(nr.Segments, ns)
+		}
+		nr.Finalize()
+		q.AddRegion(nr)
+	}
+	return q
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func remapStmts(stmts []ir.Stmt, vmap map[*ir.Var]*ir.Var) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ir.Assign:
+			remapRef(s.LHS, vmap)
+			s.RHS = remapExpr(s.RHS, vmap)
+		case *ir.If:
+			s.Cond = remapExpr(s.Cond, vmap)
+			remapStmts(s.Then, vmap)
+			remapStmts(s.Else, vmap)
+		case *ir.For:
+			remapStmts(s.Body, vmap)
+		case *ir.ExitRegion:
+			s.Cond = remapExpr(s.Cond, vmap)
+		}
+	}
+}
+
+func remapExpr(e ir.Expr, vmap map[*ir.Var]*ir.Var) ir.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ir.Load:
+		remapRef(x.Ref, vmap)
+	case *ir.Bin:
+		x.L = remapExpr(x.L, vmap)
+		x.R = remapExpr(x.R, vmap)
+	}
+	return e
+}
+
+func remapRef(r *ir.Ref, vmap map[*ir.Var]*ir.Var) {
+	if nv, ok := vmap[r.Var]; ok {
+		r.Var = nv
+	}
+	for i, sub := range r.Subs {
+		r.Subs[i] = remapExpr(sub, vmap)
+	}
+}
+
+// stmtEdit rewrites one statement (identified by preorder index) into a
+// replacement list; returning ok=false leaves the statement alone.
+type stmtEdit func(ir.Stmt) (repl []ir.Stmt, ok bool)
+
+// editStmts applies edit to the statement with preorder index target,
+// recursing through if/for bodies. ctr carries the running preorder
+// counter across sibling lists.
+func editStmts(stmts []ir.Stmt, ctr *int, target int, edit stmtEdit) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(stmts))
+	for _, st := range stmts {
+		mine := *ctr == target
+		*ctr++
+		switch s := st.(type) {
+		case *ir.If:
+			s.Then = editStmts(s.Then, ctr, target, edit)
+			s.Else = editStmts(s.Else, ctr, target, edit)
+		case *ir.For:
+			s.Body = editStmts(s.Body, ctr, target, edit)
+		}
+		if mine {
+			if repl, ok := edit(st); ok {
+				out = append(out, repl...)
+				continue
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// applicableEdits returns the reduction kinds that apply to one
+// statement: deletion always; arm-unwrapping for conditionals; trip
+// collapse for multi-iteration loops; RHS and subscript zeroing for
+// assignments that are not already constant.
+func applicableEdits(st ir.Stmt) []stmtEdit {
+	edits := []stmtEdit{
+		func(ir.Stmt) ([]ir.Stmt, bool) { return nil, true },
+	}
+	switch s := st.(type) {
+	case *ir.If:
+		edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+			if s, ok := st.(*ir.If); ok {
+				return s.Then, true
+			}
+			return nil, false
+		})
+		if len(s.Else) > 0 {
+			edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+				if s, ok := st.(*ir.If); ok && len(s.Else) > 0 {
+					return s.Else, true
+				}
+				return nil, false
+			})
+		}
+	case *ir.For:
+		if s.To != s.From {
+			edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+				if s, ok := st.(*ir.For); ok && s.To != s.From {
+					return []ir.Stmt{&ir.For{Index: s.Index, From: s.From, To: s.From, Step: s.Step, Body: s.Body}}, true
+				}
+				return nil, false
+			})
+		}
+	case *ir.Assign:
+		if _, isConst := s.RHS.(*ir.Const); !isConst {
+			edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+				if s, ok := st.(*ir.Assign); ok {
+					if _, isConst := s.RHS.(*ir.Const); !isConst {
+						return []ir.Stmt{&ir.Assign{LHS: s.LHS, RHS: ir.C(0)}}, true
+					}
+				}
+				return nil, false
+			})
+		}
+		nonConstSub := false
+		for _, sub := range s.LHS.Subs {
+			if _, isConst := sub.(*ir.Const); !isConst {
+				nonConstSub = true
+			}
+		}
+		if nonConstSub {
+			edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+				if s, ok := st.(*ir.Assign); ok && len(s.LHS.Subs) > 0 {
+					changed := false
+					for i, sub := range s.LHS.Subs {
+						if _, isConst := sub.(*ir.Const); !isConst {
+							s.LHS.Subs[i] = ir.C(0)
+							changed = true
+						}
+					}
+					return []ir.Stmt{s}, changed
+				}
+				return nil, false
+			})
+		}
+	}
+	return edits
+}
+
+// candidates enumerates one-step reductions of p, biggest cuts first.
+// Every candidate is an independent clone with its regions re-finalized.
+func candidates(p *ir.Program) []*ir.Program {
+	var out []*ir.Program
+	emit := func(mutate func(*ir.Program) bool) {
+		c := cloneProgram(p)
+		if mutate(c) {
+			for _, r := range c.Regions {
+				r.Finalize()
+			}
+			out = append(out, c)
+		}
+	}
+
+	// Drop whole regions.
+	if len(p.Regions) > 1 {
+		for i := range p.Regions {
+			i := i
+			emit(func(c *ir.Program) bool {
+				c.Regions = append(c.Regions[:i:i], c.Regions[i+1:]...)
+				return true
+			})
+		}
+	}
+	// Shrink loop-region trip counts (halve, then single iteration).
+	for ri, r := range p.Regions {
+		if r.Kind != ir.LoopRegion {
+			continue
+		}
+		trips := r.InstanceCount()
+		for _, want := range []int{trips / 2, 1} {
+			if want < 1 || want >= trips {
+				continue
+			}
+			ri, want := ri, want
+			emit(func(c *ir.Program) bool {
+				cr := c.Regions[ri]
+				cr.To = cr.From + (want-1)*cr.Step
+				return true
+			})
+		}
+	}
+	// Simplify CFG branches: keep one successor, drop the condition.
+	for ri, r := range p.Regions {
+		for si, seg := range r.Segments {
+			if len(seg.Succs) != 2 {
+				continue
+			}
+			for succ := 0; succ < 2; succ++ {
+				ri, si, succ := ri, si, succ
+				emit(func(c *ir.Program) bool {
+					cs := c.Regions[ri].Segments[si]
+					cs.Succs = []int{cs.Succs[succ]}
+					cs.Branch = nil
+					return true
+				})
+			}
+		}
+	}
+	// Statement-level edits, per region/segment, preorder position t.
+	// Applicability is probed on the original statement first, so a
+	// clone is only built for (position, kind) pairs that will apply —
+	// ir.WalkStmts visits in the same preorder editStmts counts.
+	for ri, r := range p.Regions {
+		for si, seg := range r.Segments {
+			t := -1
+			ir.WalkStmts(seg.Body, func(st ir.Stmt) {
+				t++
+				for _, e := range applicableEdits(st) {
+					ri, si, t, e := ri, si, t, e
+					emit(func(c *ir.Program) bool {
+						cs := c.Regions[ri].Segments[si]
+						ctr, applied := 0, false
+						cs.Body = editStmts(cs.Body, &ctr, t, func(st ir.Stmt) ([]ir.Stmt, bool) {
+							repl, ok := e(st)
+							applied = applied || ok
+							return repl, ok
+						})
+						// Reject no-op edits and edits that emptied the
+						// whole segment: an empty body has no references
+						// and proves nothing.
+						return applied && len(cs.Body) > 0
+					})
+				}
+			})
+		}
+	}
+	// Drop variables no reference uses anymore.
+	emit(func(c *ir.Program) bool {
+		used := make(map[*ir.Var]bool)
+		for _, r := range c.Regions {
+			for _, ref := range r.Refs {
+				used[ref.Var] = true
+			}
+		}
+		var keep []*ir.Var
+		for _, v := range c.Vars {
+			if used[v] {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == len(c.Vars) {
+			return false
+		}
+		names := make(map[string]bool, len(keep))
+		for _, v := range keep {
+			names[v.Name] = true
+		}
+		c.Vars = keep
+		for _, r := range c.Regions {
+			for ann := range r.Ann.Private {
+				if !names[ann] {
+					delete(r.Ann.Private, ann)
+				}
+			}
+			for ann := range r.Ann.LiveOut {
+				if !names[ann] {
+					delete(r.Ann.LiveOut, ann)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

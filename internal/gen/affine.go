@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"math/rand"
+
+	"refidem/internal/ir"
+)
+
+// AffineLoop generates a straight-line loop region with purely affine
+// subscripts, no conditionals, no indirect accesses and no early exits —
+// the restricted shape the brute-force trace oracles (dependence ground
+// truth, Definition 5 RFW checking) can enumerate exactly.
+func AffineLoop(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := ir.NewProgram("oracle")
+	iters := 3 + rng.Intn(6)
+	arrays := make([]*ir.Var, 1+rng.Intn(3))
+	for i := range arrays {
+		arrays[i] = p.AddVar("a"+string(rune('0'+i)), iters*3+8)
+	}
+	scalars := make([]*ir.Var, 1+rng.Intn(2))
+	for i := range scalars {
+		scalars[i] = p.AddVar("s" + string(rune('0'+i)))
+	}
+	affine := func(indices []string, dim int) ir.Expr {
+		if len(indices) > 0 && rng.Intn(3) != 0 {
+			idx := indices[rng.Intn(len(indices))]
+			scale := 1 + rng.Intn(2)
+			off := rng.Intn(5)
+			return ir.AddE(ir.MulE(ir.C(int64(scale)), ir.Idx(idx)), ir.C(int64(off)))
+		}
+		return ir.C(int64(rng.Intn(dim)))
+	}
+	mkRef := func(indices []string, write bool) *ir.Ref {
+		if rng.Intn(4) == 0 {
+			v := scalars[rng.Intn(len(scalars))]
+			if write {
+				return ir.Wr(v)
+			}
+			return ir.Rd(v).(*ir.Load).Ref
+		}
+		v := arrays[rng.Intn(len(arrays))]
+		if write {
+			return ir.Wr(v, affine(indices, v.Dims[0]))
+		}
+		return ir.Rd(v, affine(indices, v.Dims[0])).(*ir.Load).Ref
+	}
+	var stmts func(n int, indices []string, depth int) []ir.Stmt
+	stmts = func(n int, indices []string, depth int) []ir.Stmt {
+		var out []ir.Stmt
+		for i := 0; i < n; i++ {
+			if depth < 2 && rng.Intn(4) == 0 {
+				idx := "j" + string(rune('0'+depth))
+				out = append(out, &ir.For{
+					Index: idx, From: 0, To: rng.Intn(3) + 1, Step: 1,
+					Body: stmts(1+rng.Intn(2), append(append([]string{}, indices...), idx), depth+1),
+				})
+				continue
+			}
+			out = append(out, &ir.Assign{
+				LHS: mkRef(indices, true),
+				RHS: ir.AddE(&ir.Load{Ref: mkRef(indices, false)}, ir.C(1)),
+			})
+		}
+		return out
+	}
+	r := &ir.Region{Name: "r", Kind: ir.LoopRegion, Index: "k", From: 0, To: iters - 1, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: stmts(1+rng.Intn(4), []string{"k"}, 0)}}}
+	live := map[string]bool{}
+	for i, v := range p.Vars {
+		if i%2 == 0 {
+			live[v.Name] = true
+		}
+	}
+	r.Ann.LiveOut = live
+	r.Finalize()
+	p.AddRegion(r)
+	return p
+}

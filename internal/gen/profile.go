@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile is a named scenario configuration: a generation regime aimed at
+// one corner of the behaviour space. Profiles are the fuzzing driver's
+// unit of rotation — `cmd/fuzz -profile pressure` pins one, the default
+// rotates through all of them.
+type Profile struct {
+	Name string
+	Desc string
+	Cfg  Config
+}
+
+// profiles is the registry, in rotation order. Order is part of the
+// fuzzer's determinism contract: (seed, n) fixes the exact program
+// sequence.
+var profiles = []Profile{
+	{
+		Name: "default",
+		Desc: "balanced mix over every feature",
+		Cfg:  Default(),
+	},
+	{
+		Name: "affine",
+		Desc: "purely affine subscripts, loop regions only, no exits",
+		Cfg: func() Config {
+			c := Default()
+			c.Subs = SubscriptMix{Affine: 1}
+			c.CFGPct, c.ExitPct, c.BurstPct = 0, 0, 0
+			c.PrivateScalars, c.ReadOnlyArrays = 0, 0
+			return c
+		}(),
+	},
+	{
+		Name: "indirect",
+		Desc: "heavy subscripted-subscript (uncertain address) traffic",
+		Cfg: func() Config {
+			c := Default()
+			c.Subs = SubscriptMix{Affine: 2, Indirect: 3, Coupled: 1}
+			return c
+		}(),
+	},
+	{
+		Name: "coupled",
+		Desc: "two-index coupled subscripts with deep inner loops",
+		Cfg: func() Config {
+			c := Default()
+			c.Subs = SubscriptMix{Affine: 2, Indirect: 0, Coupled: 5}
+			c.LoopPct, c.MaxDepth = 30, 3
+			c.CFGPct = 0
+			return c
+		}(),
+	},
+	{
+		Name: "deep",
+		Desc: "nesting depth 3, long conditional-dense bodies",
+		Cfg: func() Config {
+			c := Default()
+			c.MaxDepth, c.MaxStmts = 3, 9
+			c.CondPct, c.LoopPct = 30, 15
+			return c
+		}(),
+	},
+	{
+		Name: "cfg",
+		Desc: "explicit CFG DAG regions only (branchy control flow)",
+		Cfg: func() Config {
+			c := Default()
+			c.CFGPct = 100
+			return c
+		}(),
+	},
+	{
+		Name: "multiregion",
+		Desc: "four regions sharing memory through inter-region liveness",
+		Cfg: func() Config {
+			c := Default()
+			c.Regions = 4
+			c.LiveOutEvery = 1
+			return c
+		}(),
+	},
+	{
+		Name: "exits",
+		Desc: "early-exit heavy loop regions (control speculation)",
+		Cfg: func() Config {
+			c := Default()
+			c.ExitPct, c.CFGPct = 12, 0
+			return c
+		}(),
+	},
+	{
+		Name: "private",
+		Desc: "privatization mix: declared segment-private scalars",
+		Cfg: func() Config {
+			c := Default()
+			c.PrivateScalars, c.MaxScalars = 3, 2
+			return c
+		}(),
+	},
+	{
+		Name: "readonly",
+		Desc: "read-only array mix (no-write idempotent category)",
+		Cfg: func() Config {
+			c := Default()
+			c.ReadOnlyArrays, c.MaxArrays = 3, 1
+			c.Subs = SubscriptMix{Affine: 4, Indirect: 2, Coupled: 1}
+			return c
+		}(),
+	},
+	{
+		Name: "pressure",
+		Desc: "buffer-pressure regime: dense write bursts, long trips",
+		Cfg: func() Config {
+			c := Default()
+			c.BurstPct, c.MaxInnerTrip, c.MaxStmts = 25, 8, 8
+			c.MaxIters = 14
+			c.CFGPct = 0
+			return c
+		}(),
+	},
+	{
+		Name: "liveout",
+		Desc: "everything live-out (maximal differential surface)",
+		Cfg: func() Config {
+			c := Default()
+			c.LiveOutEvery = 1
+			return c
+		}(),
+	},
+}
+
+// Profiles returns the registry in rotation order.
+func Profiles() []Profile {
+	return append([]Profile{}, profiles...)
+}
+
+// ProfileNames lists the registered profile names, sorted.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName looks a profile up.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown profile %q (have %v)", name, ProfileNames())
+}
+
+// FromProfile generates one scenario under the named profile.
+func FromProfile(p Profile, seed int64) *Scenario {
+	return generate(seed, p.Cfg, p.Name)
+}

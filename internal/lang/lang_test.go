@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"refidem/internal/engine"
+	"refidem/internal/gen"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
-	"refidem/internal/testutil"
 )
 
 const sample = `
@@ -244,9 +244,9 @@ func TestMustParsePanicsOnBadSource(t *testing.T) {
 // identically, for hand-written and generated programs alike.
 func TestRoundTrip(t *testing.T) {
 	srcs := []string{sample}
-	gc := testutil.DefaultGen()
+	gc := gen.Default()
 	for seed := int64(0); seed < 60; seed++ {
-		srcs = append(srcs, testutil.Program(seed, gc).Format())
+		srcs = append(srcs, gen.Generate(seed, gc).Program.Format())
 	}
 	for i, src := range srcs {
 		p1, err := Parse(src)

@@ -1,0 +1,38 @@
+package proptest
+
+// Corpus replay: every file under testdata/corpus is re-run through the
+// fuzzer's full differential oracle wall. The directory holds the seed
+// corpus (hand-minimized feature-covering programs) plus any minimized
+// reproducer the fuzzing driver ever wrote there (cmd/fuzz -corpus
+// internal/proptest/testdata/corpus), so every past failure stays a
+// permanent regression test.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"refidem/internal/fuzz"
+)
+
+func TestCorpusReplay(t *testing.T) {
+	corpus, err := fuzz.LoadCorpus("testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) == 0 {
+		t.Fatal("testdata/corpus is empty — the seed corpus should be checked in")
+	}
+	for _, r := range corpus {
+		r := r
+		t.Run(filepath.Base(r.Path), func(t *testing.T) {
+			p, err := r.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := fuzz.CheckProgram(p, fuzz.OracleOptions{}); v != nil {
+				t.Fatalf("corpus program fails the oracle wall: %v\n(metadata: seed=%d profile=%s kind=%s detail=%s)",
+					v, r.Seed, r.Profile, r.Kind, r.Detail)
+			}
+		})
+	}
+}

@@ -1,7 +1,7 @@
 package proptest
 
 // Trace oracles: on the restricted affine/straight-line program shape
-// (testutil.AffineLoopProgram), the Definition 5 RFW condition and the
+// (gen.AffineLoop), the Definition 5 RFW condition and the
 // labeling soundness can be checked against an exact enumeration of the
 // region's execution trace.
 
@@ -9,9 +9,9 @@ import (
 	"testing"
 
 	"refidem/internal/engine"
+	"refidem/internal/gen"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
-	"refidem/internal/testutil"
 )
 
 // traceEvent is one executed reference instance.
@@ -97,7 +97,7 @@ func iterationTraces(t *testing.T, r *ir.Region) [][]struct {
 // location is never touched again it must be dead (not live-out).
 func TestRFWDefinition5Oracle(t *testing.T) {
 	for seed := int64(0); seed < 300; seed++ {
-		p := testutil.AffineLoopProgram(seed)
+		p := gen.AffineLoop(seed)
 		if err := p.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -161,7 +161,7 @@ func scanSuffix(traces [][]struct {
 func TestAffineOracleProgramsExecuteCorrectly(t *testing.T) {
 	cfg := engine.DefaultConfig()
 	for seed := int64(0); seed < 100; seed++ {
-		p := testutil.AffineLoopProgram(seed)
+		p := gen.AffineLoop(seed)
 		labs := idem.LabelProgram(p)
 		seq, err := engine.RunSequential(p, cfg)
 		if err != nil {
@@ -183,11 +183,11 @@ func TestAffineOracleProgramsExecuteCorrectly(t *testing.T) {
 // where memory carries between regions and live-out sets come from the
 // inter-region liveness pass.
 func TestMultiRegionPrograms(t *testing.T) {
-	gc := testutil.DefaultGen()
+	gc := gen.Default()
 	gc.Regions = 3
 	cfg := engine.DefaultConfig()
 	for seed := int64(0); seed < 100; seed++ {
-		p := testutil.Program(seed, gc)
+		p := gen.Generate(seed, gc).Program
 		if err := p.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -221,7 +221,7 @@ func TestMultiRegionPrograms(t *testing.T) {
 func TestBlockedProgramsStayCorrect(t *testing.T) {
 	cfg := engine.DefaultConfig()
 	for seed := int64(0); seed < 60; seed++ {
-		p := testutil.AffineLoopProgram(seed)
+		p := gen.AffineLoop(seed)
 		n := p.Regions[0].InstanceCount()
 		for _, block := range []int{1, 2, 3} {
 			if n%block != 0 {

@@ -6,6 +6,9 @@ import "testing"
 // operations at zero allocations: inserts, lookups, upgrades and resets
 // must never touch the heap once the buffer is built.
 func TestBufferInsertAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
 	b := NewBuffer(64)
 	allocs := testing.AllocsPerRun(100, func() {
 		for a := int64(0); a < 64; a++ {
@@ -27,6 +30,9 @@ func TestBufferInsertAllocationFree(t *testing.T) {
 
 // TestBufferNoteReadAllocationFree covers the read-tracking path.
 func TestBufferNoteReadAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
 	b := NewSetAssocBuffer(8, 4)
 	allocs := testing.AllocsPerRun(100, func() {
 		for a := int64(0); a < 32; a++ {
@@ -43,6 +49,9 @@ func TestBufferNoteReadAllocationFree(t *testing.T) {
 // TestAppendWrittenReusesScratch pins the commit path: with a
 // pre-grown scratch slice, draining written entries allocates nothing.
 func TestAppendWrittenReusesScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
 	b := NewBuffer(32)
 	scratch := make([]Entry, 0, 32)
 	allocs := testing.AllocsPerRun(100, func() {
@@ -62,6 +71,9 @@ func TestAppendWrittenReusesScratch(t *testing.T) {
 
 // TestCacheAccessAllocationFree pins the hierarchy timing model.
 func TestCacheAccessAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector")
+	}
 	h := NewHierarchy(2, DefaultHierarchy())
 	allocs := testing.AllocsPerRun(100, func() {
 		for a := int64(0); a < 512; a++ {
