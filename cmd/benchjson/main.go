@@ -86,7 +86,8 @@ func main() {
 	baseline := flag.String("baseline", "", "JSON file with reference numbers to embed under \"baseline\"")
 	goVersion := flag.String("go", "", "toolchain version string to record")
 	gate := flag.String("gate", "", "baseline JSON file to gate against (exit 1 on regression)")
-	gatePrefix := flag.String("gate-prefix", "BenchmarkEngine", "only gate benchmarks with this name prefix")
+	gatePrefix := flag.String("gate-prefix", "BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline",
+		"comma-separated name prefixes selecting the gated benchmarks")
 	gateMaxRegress := flag.Float64("gate-max-regress", 0.25, "maximum allowed ns/op regression (fraction over baseline)")
 	flag.Parse()
 
@@ -140,10 +141,11 @@ func main() {
 }
 
 // runGate compares the measured benchmarks against the baseline file:
-// for every benchmark whose name starts with prefix and exists in both
-// sets, ns/op may regress by at most maxRegress (fractionally) and
-// allocs/op may not grow at all. Any violation is an error; so is a
-// gated baseline benchmark that was not measured.
+// for every benchmark whose name starts with one of the comma-separated
+// prefixes and exists in both sets, ns/op may regress by at most
+// maxRegress (fractionally) and allocs/op may not grow at all. Any
+// violation is an error; so is a gated baseline benchmark that was not
+// measured.
 func runGate(got map[string]Result, baselineFile, prefix string, maxRegress float64) error {
 	raw, err := os.ReadFile(baselineFile)
 	if err != nil {
@@ -153,15 +155,24 @@ func runGate(got map[string]Result, baselineFile, prefix string, maxRegress floa
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("bad baseline %s: %w", baselineFile, err)
 	}
+	var prefixes []string
+	for _, p := range strings.Split(prefix, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
-		if strings.HasPrefix(name, prefix) {
-			names = append(names, name)
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				names = append(names, name)
+				break
+			}
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return fmt.Errorf("baseline %s has no benchmarks with prefix %q", baselineFile, prefix)
+		return fmt.Errorf("baseline %s has no benchmarks with prefixes %q", baselineFile, prefix)
 	}
 	var violations []string
 	for _, name := range names {

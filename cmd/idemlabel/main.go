@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"refidem/internal/idem"
@@ -30,34 +31,41 @@ func main() {
 	dot := flag.String("dot", "", "emit Graphviz instead of tables: \"segments\" or \"deps\"")
 	flag.Parse()
 
-	p, err := loadProgram(*example, *file)
-	if err != nil {
+	if err := run(os.Stdout, *example, *file, *showDeps, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "idemlabel:", err)
 		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind flag parsing and exit codes; the CLI tests
+// drive it directly.
+func run(w io.Writer, example, file string, showDeps bool, dot string) error {
+	p, err := loadProgram(example, file)
+	if err != nil {
+		return err
 	}
 	if err := p.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "idemlabel:", err)
-		os.Exit(1)
+		return err
 	}
 	labs := idem.LabelProgram(p)
-	if *dot != "" {
+	if dot != "" {
 		for _, r := range p.Regions {
-			switch *dot {
+			switch dot {
 			case "segments":
-				fmt.Print(viz.SegmentGraphDOT(r))
+				fmt.Fprint(w, viz.SegmentGraphDOT(r))
 			case "deps":
-				fmt.Print(viz.DependenceGraphDOT(labs[r]))
+				fmt.Fprint(w, viz.DependenceGraphDOT(labs[r]))
 			default:
-				fmt.Fprintf(os.Stderr, "idemlabel: unknown -dot kind %q (want segments or deps)\n", *dot)
-				os.Exit(1)
+				return fmt.Errorf("unknown -dot kind %q (want segments or deps)", dot)
 			}
 		}
-		return
+		return nil
 	}
-	fmt.Printf("program %s\n\n", p.Name)
+	fmt.Fprintf(w, "program %s\n\n", p.Name)
 	for _, r := range p.Regions {
-		printRegion(p, r, labs[r], *showDeps)
+		printRegion(w, p, r, labs[r], showDeps)
 	}
+	return nil
 }
 
 func loadProgram(example, file string) (*ir.Program, error) {
@@ -88,12 +96,12 @@ func loadProgram(example, file string) (*ir.Program, error) {
 	}
 }
 
-func printRegion(p *ir.Program, r *ir.Region, res *idem.Result, showDeps bool) {
-	fmt.Printf("region %s (%s)", r.Name, r.Kind)
+func printRegion(w io.Writer, p *ir.Program, r *ir.Region, res *idem.Result, showDeps bool) {
+	fmt.Fprintf(w, "region %s (%s)", r.Name, r.Kind)
 	if res.FullyIndependent {
-		fmt.Print("  [fully independent: all references idempotent by Lemma 7]")
+		fmt.Fprint(w, "  [fully independent: all references idempotent by Lemma 7]")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	t := report.NewTable("", "reference", "segment", "label", "category", "RFW", "cross-sink")
 	for _, ref := range r.Refs {
@@ -103,29 +111,29 @@ func printRegion(p *ir.Program, r *ir.Region, res *idem.Result, showDeps bool) {
 		}
 		rfw := ""
 		if ref.Access == ir.Write {
-			rfw = fmt.Sprint(res.RFW.IsRFW[ref])
+			rfw = fmt.Sprint(res.RFW.IsRFW(ref))
 		}
-		t.AddRowf(refText(ref), segName, res.Labels[ref], res.Categories[ref],
+		t.AddRowf(refText(ref), segName, res.Label(ref), res.Category(ref),
 			rfw, fmt.Sprint(res.Deps.IsCrossSink(ref)))
 	}
-	fmt.Println(t.String())
+	fmt.Fprintln(w, t.String())
 
 	total, byCat := res.IdempotentFraction()
-	fmt.Printf("static idempotent fraction: %.1f%%", total*100)
+	fmt.Fprintf(w, "static idempotent fraction: %.1f%%", total*100)
 	for _, c := range []idem.Category{idem.CatReadOnly, idem.CatPrivate, idem.CatSharedDependent, idem.CatFullyIndependent} {
 		if f := byCat[c]; f > 0 {
-			fmt.Printf("  %s %.1f%%", c, f*100)
+			fmt.Fprintf(w, "  %s %.1f%%", c, f*100)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	if showDeps {
-		fmt.Println("\nmay-dependences:")
+		fmt.Fprintln(w, "\nmay-dependences:")
 		for _, d := range res.Deps.All {
-			fmt.Printf("  %s\n", d)
+			fmt.Fprintf(w, "  %s\n", d)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func refText(ref *ir.Ref) string {

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -82,7 +83,7 @@ func main() {
 		cfg.Trace = os.Stderr
 	}
 
-	if err := run(p, cfg); err != nil {
+	if err := run(os.Stdout, p, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "specsim:", err)
 		os.Exit(1)
 	}
@@ -113,7 +114,9 @@ func loadProgram(loop, file string) (*ir.Program, error) {
 	}
 }
 
-func run(p *ir.Program, cfg engine.Config) error {
+// run executes and reports one program on one machine configuration; the
+// CLI tests drive it directly.
+func run(w io.Writer, p *ir.Program, cfg engine.Config) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -136,7 +139,7 @@ func run(p *ir.Program, cfg engine.Config) error {
 		}
 	}
 
-	fmt.Printf("program %s on %d processors, %d-entry speculative storage\n\n",
+	fmt.Fprintf(w, "program %s on %d processors, %d-entry speculative storage\n\n",
 		p.Name, cfg.Processors, cfg.SpecCapacity)
 	t := report.NewTable("", "model", "cycles", "speedup", "dyn refs", "idem refs",
 		"overflows", "stall cyc", "flow viol", "ctrl viol", "peak spec", "util%")
@@ -151,7 +154,7 @@ func run(p *ir.Program, cfg engine.Config) error {
 			s.DynRefs, s.IdemRefs, s.Overflows, s.OverflowStallCycles,
 			s.FlowViolations, s.ControlViolations, s.PeakSpecOccupancy, util)
 	}
-	fmt.Println(t.String())
-	fmt.Println("both speculative runs verified against the sequential memory state")
+	fmt.Fprintln(w, t.String())
+	fmt.Fprintln(w, "both speculative runs verified against the sequential memory state")
 	return nil
 }

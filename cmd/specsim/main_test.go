@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"refidem/internal/engine"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./cmd/specsim -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestNamedLoopsGolden locks the full three-model report for paper loops:
+// the simulator is deterministic, so cycles, speedups and speculation
+// statistics must reproduce bit-exactly.
+func TestNamedLoopsGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden   string
+		loop     string
+		procs    int
+		capacity int
+	}{
+		{"tomcatv_do80.golden", "TOMCATV MAIN_DO80", 4, 128},
+		{"tomcatv_do80_tiny.golden", "TOMCATV MAIN_DO80", 4, 8},
+		{"mgrid_do600.golden", "MGRID RESID_DO600", 8, 128},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			p, err := loadProgram(tc.loop, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := engine.DefaultConfig()
+			cfg.Processors = tc.procs
+			cfg.SpecCapacity = tc.capacity
+			var buf bytes.Buffer
+			if err := run(&buf, p, cfg); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}
+
+// TestLoadProgramErrors covers the error paths main maps to exit code 1.
+func TestLoadProgramErrors(t *testing.T) {
+	cases := []struct {
+		name       string
+		loop, file string
+	}{
+		{"no input", "", ""},
+		{"both inputs", "TOMCATV MAIN_DO80", "x.ril"},
+		{"malformed loop name", "TOMCATV", ""},
+		{"unknown loop", "NOPE NOPE_DO1", ""},
+		{"missing file", "", filepath.Join(t.TempDir(), "missing.ril")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := loadProgram(tc.loop, tc.file); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+// TestRunFile drives the -file path: parse, label, simulate, verify.
+func TestRunFile(t *testing.T) {
+	src := `program filetest
+var a[16]
+var b[16]
+region main loop k = 0 to 15 {
+  a[k] = b[k] + 1
+}
+`
+	path := filepath.Join(t.TempDir(), "prog.ril")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProgram("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, p, engine.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("verified against the sequential memory state")) {
+		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}

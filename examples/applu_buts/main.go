@@ -24,7 +24,7 @@ func main() {
 
 	fmt.Println("reference labels (Theorems 1 and 2):")
 	for _, ref := range r.Refs {
-		fmt.Printf("  %-44v %-12v %v\n", ref, lab.Labels[ref], lab.Categories[ref])
+		fmt.Printf("  %-44v %-12v %v\n", ref, lab.Label(ref), lab.Category(ref))
 	}
 
 	frac, byCat := lab.IdempotentFraction()

@@ -37,7 +37,7 @@ func main() {
 		lab := labs[r]
 		fmt.Printf("region %q:\n", r.Name)
 		for _, ref := range r.Refs {
-			fmt.Printf("  %-28v -> %-12v (%v)\n", ref, lab.Labels[ref], lab.Categories[ref])
+			fmt.Printf("  %-28v -> %-12v (%v)\n", ref, lab.Label(ref), lab.Category(ref))
 		}
 	}
 

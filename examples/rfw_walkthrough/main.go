@@ -32,11 +32,11 @@ func main() {
 		fmt.Printf("variable %s:\n", name)
 		fmt.Println("  segment  attr   color")
 		for _, seg := range r.Segments {
-			fmt.Printf("  %-8s %-6v %v\n", seg.Name, info.Attrs[seg.ID][v], res.Colors[v][seg.ID])
+			fmt.Printf("  %-8s %-6v %v\n", seg.Name, info.Attrs(seg.ID, v), res.Color(v, seg.ID))
 		}
 		var rfws []string
 		for _, ref := range r.VarRefs(v) {
-			if ref.Access == ir.Write && res.IsRFW[ref] {
+			if ref.Access == ir.Write && res.IsRFW(ref) {
 				rfws = append(rfws, r.Seg(ref.SegID).Name)
 			}
 		}

@@ -159,7 +159,8 @@ func TestFromRegionCFG(t *testing.T) {
 }
 
 func TestEntryEmptyGraph(t *testing.T) {
-	g := &Graph{succs: map[int][]int{}, preds: map[int][]int{}, age: map[int]int{}}
+	g := newGraph(0)
+	g.finalize()
 	if g.Entry() != Exit {
 		t.Error("empty graph entry should be Exit")
 	}

@@ -170,17 +170,17 @@ func TestAnalyzeRegionReadOnlyAndPrivate(t *testing.T) {
 	})
 	r.Ann.LiveOut = map[string]bool{"out": true}
 	info := AnalyzeRegion(p, r, nil)
-	if !info.ReadOnly[ro] {
+	if !info.ReadOnly(ro) {
 		t.Error("ro should be read-only")
 	}
-	if !info.Private[tv] {
+	if !info.Private(tv) {
 		t.Error("tv should be inferred private (write-before-read, dead after region)")
 	}
-	if info.Private[out] || info.ReadOnly[out] {
+	if info.Private(out) || info.ReadOnly(out) {
 		t.Error("out misclassified")
 	}
-	if !info.LiveOut[out] || info.LiveOut[tv] {
-		t.Errorf("LiveOut = %v", info.LiveOut)
+	if !info.LiveOut(out) || info.LiveOut(tv) {
+		t.Errorf("LiveOut(out)=%v LiveOut(tv)=%v", info.LiveOut(out), info.LiveOut(tv))
 	}
 }
 
@@ -192,7 +192,7 @@ func TestAnalyzeRegionLiveScalarNotPrivate(t *testing.T) {
 	})
 	r.Ann.LiveOut = map[string]bool{"tv": true}
 	info := AnalyzeRegion(p, r, nil)
-	if info.Private[tv] {
+	if info.Private(tv) {
 		t.Error("live-out scalar must not be private")
 	}
 }
@@ -206,10 +206,10 @@ func TestAnalyzeRegionDeclaredPrivate(t *testing.T) {
 	})
 	r.Ann.Private = map[string]bool{"w": true}
 	info := AnalyzeRegion(p, r, nil)
-	if !info.Private[w] {
+	if !info.Private(w) {
 		t.Error("declared private not honored")
 	}
-	if info.LiveOut[w] {
+	if info.LiveOut(w) {
 		t.Error("private vars are dead at region exit")
 	}
 }
@@ -221,7 +221,7 @@ func TestAnalyzeRegionDefaultLiveOutConservative(t *testing.T) {
 		&ir.Assign{LHS: ir.Wr(x, ir.Idx("k")), RHS: ir.C(1)},
 	})
 	info := AnalyzeRegion(p, r, nil)
-	if !info.LiveOut[x] {
+	if !info.LiveOut(x) {
 		t.Error("without annotation, referenced vars default to live")
 	}
 }
@@ -238,11 +238,11 @@ func TestAnalyzeProgramInterRegionLiveness(t *testing.T) {
 	})
 	r2.Ann.LiveOut = map[string]bool{"b": true}
 	infos := AnalyzeProgram(p)
-	if !infos[r1].LiveOut[a] {
+	if !infos[r1].LiveOut(a) {
 		t.Error("a is read by r2, so it is live out of r1")
 	}
-	if !infos[r2].LiveOut[b] || infos[r2].LiveOut[a] {
-		t.Errorf("r2 LiveOut = %v", infos[r2].LiveOut)
+	if !infos[r2].LiveOut(b) || infos[r2].LiveOut(a) {
+		t.Errorf("r2 LiveOut(b)=%v LiveOut(a)=%v", infos[r2].LiveOut(b), infos[r2].LiveOut(a))
 	}
 }
 

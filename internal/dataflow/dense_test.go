@@ -1,0 +1,42 @@
+package dataflow
+
+// Differential test keeping the stand-alone SegAttrs walker and the
+// dense-index region walk of AnalyzeRegion in lockstep across a
+// population of generated programs.
+
+import (
+	"testing"
+
+	"refidem/internal/gen"
+)
+
+func TestSegAttrsMatchesDenseWalk(t *testing.T) {
+	for _, prof := range gen.Profiles() {
+		for seed := int64(1); seed <= 25; seed++ {
+			sc := gen.Generate(seed, prof.Cfg)
+			p := sc.Program
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", prof.Name, seed, err)
+			}
+			for _, r := range p.Regions {
+				info := AnalyzeRegion(p, r, nil)
+				idx := info.Index()
+				for _, seg := range r.Segments {
+					m := SegAttrs(seg)
+					segPos := idx.SegPos(seg.ID)
+					for local, v := range idx.Vars {
+						attr, referenced := m[v]
+						if got := info.RefdAt(segPos, int32(local)); got != referenced {
+							t.Fatalf("%s seed %d region %s seg %d var %s: referenced dense=%v map=%v",
+								prof.Name, seed, r.Name, seg.ID, v.Name, got, referenced)
+						}
+						if got := info.AttrAt(segPos, int32(local)); got != attr {
+							t.Fatalf("%s seed %d region %s seg %d var %s: attr dense=%v map=%v",
+								prof.Name, seed, r.Name, seg.ID, v.Name, got, attr)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -10,11 +10,20 @@
 // interval (Banerjee) test and a GCD test on affine subscripts; any
 // non-affine subscript dimension (e.g. the paper's subscripted subscript
 // K(E)) is assumed to may-alias.
+//
+// The pair tests run on the dense affine forms precomputed in the region
+// index (ir.RegionIndex): each test accumulates the interval and GCD
+// refutations directly from positional loop coefficients, with no
+// per-pair allocation. References whose subscripts the dense forms cannot
+// represent (only possible in unvalidated programs or nests deeper than
+// ir.MaxAffDepth) fall back to the equivalent map-based solver in
+// slow.go.
 package deps
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"refidem/internal/cfg"
 	"refidem/internal/ir"
@@ -62,33 +71,46 @@ func (d Dep) String() string {
 	return fmt.Sprintf("%s %s: %s -> %s", scope, d.Kind, d.Src, d.Dst)
 }
 
-// Analysis holds the dependences of one region, indexed by endpoint.
+// Analysis holds the dependences of one region. Endpoint indexes are
+// stored as CSR groups over reference IDs, so SinksAt/SourcesAt return
+// zero-allocation views.
 type Analysis struct {
 	Region *ir.Region
 	All    []Dep
 
-	sinks   map[*ir.Ref][]Dep
-	sources map[*ir.Ref][]Dep
+	bySink  []Dep // grouped by Dst.ID
+	sinkOff []int32
+	bySrc   []Dep // grouped by Src.ID
+	srcOff  []int32
+	cross   ir.Bits // ref is the sink of a cross-segment dependence
+
+	// emitted dedups directions within the pair currently being tested:
+	// [0] src==r1, [1] src==r2; second index is Cross.
+	emitted [2][2]bool
+	pairR1  *ir.Ref
 }
 
-// SinksAt returns the dependences whose sink is ref.
-func (a *Analysis) SinksAt(ref *ir.Ref) []Dep { return a.sinks[ref] }
+// SinksAt returns the dependences whose sink is ref. The slice is a view
+// into the analysis; do not mutate.
+func (a *Analysis) SinksAt(ref *ir.Ref) []Dep {
+	return a.bySink[a.sinkOff[ref.ID]:a.sinkOff[ref.ID+1]]
+}
 
-// SourcesAt returns the dependences whose source is ref.
-func (a *Analysis) SourcesAt(ref *ir.Ref) []Dep { return a.sources[ref] }
+// SourcesAt returns the dependences whose source is ref. The slice is a
+// view into the analysis; do not mutate.
+func (a *Analysis) SourcesAt(ref *ir.Ref) []Dep {
+	return a.bySrc[a.srcOff[ref.ID]:a.srcOff[ref.ID+1]]
+}
 
 // IsSink reports whether ref is the sink of any dependence.
-func (a *Analysis) IsSink(ref *ir.Ref) bool { return len(a.sinks[ref]) > 0 }
+func (a *Analysis) IsSink(ref *ir.Ref) bool {
+	return a.sinkOff[ref.ID] != a.sinkOff[ref.ID+1]
+}
 
 // IsCrossSink reports whether ref is the sink of a cross-segment
 // dependence (the references Lemma 3 forces to stay speculative).
 func (a *Analysis) IsCrossSink(ref *ir.Ref) bool {
-	for _, d := range a.sinks[ref] {
-		if d.Cross {
-			return true
-		}
-	}
-	return false
+	return a.cross.Get(int32(ref.ID))
 }
 
 // HasCrossDeps reports whether the region carries any cross-segment data
@@ -108,16 +130,25 @@ func (a *Analysis) HasCrossDeps() bool {
 // ablation: labeling under it is strictly more conservative, so fewer
 // references become idempotent.
 func Conservative(a *Analysis) *Analysis {
-	out := &Analysis{
-		Region:  a.Region,
-		sinks:   make(map[*ir.Ref][]Dep),
-		sources: make(map[*ir.Ref][]Dep),
-	}
+	out := &Analysis{Region: a.Region}
 	for _, d := range a.All {
-		out.emit(d.Src, d.Dst, d.Cross)
-		out.emit(d.Dst, d.Src, d.Cross)
+		out.emitDedupScan(d.Src, d.Dst, d.Cross)
+		out.emitDedupScan(d.Dst, d.Src, d.Cross)
 	}
+	out.buildIndexes()
 	return out
+}
+
+// emitDedupScan appends a dependence unless an identical one exists; the
+// linear scan is fine for the ablation-only Conservative path.
+func (a *Analysis) emitDedupScan(src, dst *ir.Ref, cross bool) {
+	d := Dep{Src: src, Dst: dst, Kind: kindOf(src, dst), Cross: cross}
+	for _, e := range a.All {
+		if e == d {
+			return
+		}
+	}
+	a.All = append(a.All, d)
 }
 
 // kindOf classifies a source/sink access pair.
@@ -132,14 +163,13 @@ func kindOf(src, dst *ir.Ref) Kind {
 	}
 }
 
+var cursorPool = sync.Pool{New: func() any { return &[]int32{} }}
+
 // Analyze computes the may-dependences of the region. The graph must be
 // cfg.FromRegion(r) (passed in so callers can share it).
 func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
-	a := &Analysis{
-		Region:  r,
-		sinks:   make(map[*ir.Ref][]Dep),
-		sources: make(map[*ir.Ref][]Dep),
-	}
+	a := &Analysis{Region: r}
+	idx := r.DenseIndex()
 	refs := r.Refs
 	for i := 0; i < len(refs); i++ {
 		for j := i; j < len(refs); j++ {
@@ -153,7 +183,7 @@ func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
 			if i == j && r1.Access == ir.Read {
 				continue
 			}
-			a.pair(r1, r2, g)
+			a.pair(r1, r2, g, idx)
 		}
 	}
 	// Deterministic order for printing and tests.
@@ -167,23 +197,75 @@ func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
 		}
 		return x.Kind < y.Kind
 	})
+	a.buildIndexes()
 	return a
 }
 
-func (a *Analysis) emit(src, dst *ir.Ref, cross bool) {
-	d := Dep{Src: src, Dst: dst, Kind: kindOf(src, dst), Cross: cross}
-	for _, e := range a.All {
-		if e == d {
-			return
+// buildIndexes fills the CSR endpoint groups and the cross-sink bitset
+// from All.
+func (a *Analysis) buildIndexes() {
+	n := len(a.Region.Refs)
+	a.sinkOff = make([]int32, n+1)
+	a.srcOff = make([]int32, n+1)
+	a.cross = ir.MakeBits(n)
+	for _, d := range a.All {
+		a.sinkOff[d.Dst.ID+1]++
+		a.srcOff[d.Src.ID+1]++
+		if d.Cross {
+			a.cross.Set(int32(d.Dst.ID))
 		}
 	}
+	for i := 0; i < n; i++ {
+		a.sinkOff[i+1] += a.sinkOff[i]
+		a.srcOff[i+1] += a.srcOff[i]
+	}
+	a.bySink = make([]Dep, len(a.All))
+	a.bySrc = make([]Dep, len(a.All))
+	cp := cursorPool.Get().(*[]int32)
+	cursor := *cp
+	if cap(cursor) < n {
+		cursor = make([]int32, n)
+	}
+	cursor = cursor[:n]
+	copy(cursor, a.sinkOff[:n])
+	for _, d := range a.All {
+		a.bySink[cursor[d.Dst.ID]] = d
+		cursor[d.Dst.ID]++
+	}
+	copy(cursor, a.srcOff[:n])
+	for _, d := range a.All {
+		a.bySrc[cursor[d.Src.ID]] = d
+		cursor[d.Src.ID]++
+	}
+	*cp = cursor
+	cursorPool.Put(cp)
+}
+
+// emit records one directed dependence, deduplicating within the current
+// pair (the same direction can be discovered at several loop levels).
+// Duplicates across pairs are impossible: each unordered reference pair is
+// tested exactly once and the kind is a function of the endpoints.
+func (a *Analysis) emit(src, dst *ir.Ref, cross bool) {
+	dir := 0
+	if src != a.pairR1 {
+		dir = 1
+	}
+	ci := 0
+	if cross {
+		ci = 1
+	}
+	if a.emitted[dir][ci] {
+		return
+	}
+	a.emitted[dir][ci] = true
+	d := Dep{Src: src, Dst: dst, Kind: kindOf(src, dst), Cross: cross}
 	a.All = append(a.All, d)
-	a.sinks[dst] = append(a.sinks[dst], d)
-	a.sources[src] = append(a.sources[src], d)
 }
 
 // pair tests one unordered reference pair in every direction and level.
-func (a *Analysis) pair(r1, r2 *ir.Ref, g *cfg.Graph) {
+func (a *Analysis) pair(r1, r2 *ir.Ref, g *cfg.Graph, idx *ir.RegionIndex) {
+	a.pairR1 = r1
+	a.emitted = [2][2]bool{}
 	r := a.Region
 	if r.Kind == ir.CFGRegion {
 		if r1.SegID != r2.SegID {
@@ -194,45 +276,45 @@ func (a *Analysis) pair(r1, r2 *ir.Ref, g *cfg.Graph) {
 			if g.Age(r2.SegID) < g.Age(r1.SegID) {
 				src, dst = r2, r1
 			}
-			if mayAliasIndependent(r, src, dst) {
+			if mayAliasIndependent(r, src, dst, idx) {
 				a.emit(src, dst, true)
 			}
 			return
 		}
-		a.intraSegment(r1, r2)
+		a.intraSegment(r1, r2, idx)
 		return
 	}
 
 	// Loop region. Region level first: iterations are the segments.
 	n := r.InstanceCount()
 	if n >= 2 {
-		if mayAliasRegionLevel(r, r1, r2) {
+		if mayAliasRegionLevel(r, r1, r2, idx) {
 			a.emit(r1, r2, true)
 		}
 		if r1 != r2 {
-			if mayAliasRegionLevel(r, r2, r1) {
+			if mayAliasRegionLevel(r, r2, r1, idx) {
 				a.emit(r2, r1, true)
 			}
 		}
 	}
 	if r1 != r2 || r1.Access == ir.Write {
-		a.intraSegment(r1, r2)
+		a.intraSegment(r1, r2, idx)
 	}
 }
 
 // intraSegment emits same-instance dependences between r1 and r2 at each
 // common loop level and at the same-iteration level.
-func (a *Analysis) intraSegment(r1, r2 *ir.Ref) {
+func (a *Analysis) intraSegment(r1, r2 *ir.Ref, idx *ir.RegionIndex) {
 	if r1.SegID != r2.SegID {
 		return
 	}
-	common := commonLoops(r1, r2)
+	nCommon := commonLen(r1, r2)
 	// Cross-iteration of each common inner loop.
-	for level := range common {
-		if mayAliasInnerLevel(a.Region, r1, r2, common, level, true) {
+	for level := 0; level < nCommon; level++ {
+		if mayAliasInnerLevel(a.Region, r1, r2, nCommon, level, true, idx) {
 			a.emit(r1, r2, false)
 		}
-		if r1 != r2 && mayAliasInnerLevel(a.Region, r1, r2, common, level, false) {
+		if r1 != r2 && mayAliasInnerLevel(a.Region, r1, r2, nCommon, level, false, idx) {
 			a.emit(r2, r1, false)
 		}
 	}
@@ -240,7 +322,7 @@ func (a *Analysis) intraSegment(r1, r2 *ir.Ref) {
 	if r1 == r2 {
 		return
 	}
-	if mayAliasSameIteration(a.Region, r1, r2, common) {
+	if mayAliasSameIteration(a.Region, r1, r2, nCommon, idx) {
 		src, dst := r1, r2
 		if r2.Pos < r1.Pos {
 			src, dst = r2, r1
@@ -249,108 +331,49 @@ func (a *Analysis) intraSegment(r1, r2 *ir.Ref) {
 	}
 }
 
-// commonLoops returns the shared enclosing-loop prefix of two references.
-func commonLoops(r1, r2 *ir.Ref) []ir.LoopInfo {
-	var out []ir.LoopInfo
-	for i := 0; i < len(r1.Ctx.Loops) && i < len(r2.Ctx.Loops); i++ {
-		if r1.Ctx.Loops[i].ID != r2.Ctx.Loops[i].ID {
-			break
-		}
-		out = append(out, r1.Ctx.Loops[i])
+// commonLen returns the length of the shared enclosing-loop prefix of two
+// references.
+func commonLen(r1, r2 *ir.Ref) int {
+	n := 0
+	for n < len(r1.Ctx.Loops) && n < len(r2.Ctx.Loops) && r1.Ctx.Loops[n].ID == r2.Ctx.Loops[n].ID {
+		n++
 	}
-	return out
+	return n
 }
 
-// --- linear alias testing ---------------------------------------------
+// --- dense alias testing ----------------------------------------------
 
-// linExpr is c + sum(terms[v] * v) over solver variables.
-type linExpr struct {
-	c     int64
-	terms map[string]int64
+// acc accumulates the interval and GCD tests of one subscript-dimension
+// equation diff == 0 (diff in solver variables).
+type acc struct {
+	lo, hi int64 // interval of the variable part
+	g      int64 // gcd of the non-zero coefficients
+	c      int64 // constant part
 }
 
-func (e linExpr) add(o linExpr, sign int64) linExpr {
-	out := linExpr{c: e.c + sign*o.c, terms: map[string]int64{}}
-	for k, v := range e.terms {
-		out.terms[k] += v
+// add introduces a solver variable with the given coefficient and
+// inclusive bounds.
+func (a *acc) add(coeff, lo, hi int64) {
+	if coeff == 0 {
+		return
 	}
-	for k, v := range o.terms {
-		out.terms[k] += sign * v
+	if coeff > 0 {
+		a.lo += coeff * lo
+		a.hi += coeff * hi
+	} else {
+		a.lo += coeff * hi
+		a.hi += coeff * lo
 	}
-	for k, v := range out.terms {
-		if v == 0 {
-			delete(out.terms, k)
-		}
-	}
-	return out
+	a.g = gcd(a.g, abs64(coeff))
 }
 
-// env maps the program's index-variable names to solver linExprs, plus
-// solver-variable bounds.
-type env struct {
-	subst  map[string]linExpr
-	bounds map[string][2]int64
-}
-
-func newEnv() *env {
-	return &env{subst: map[string]linExpr{}, bounds: map[string][2]int64{}}
-}
-
-// freeVar introduces a solver variable with the given inclusive bounds.
-func (e *env) freeVar(name string, lo, hi int64) linExpr {
-	e.bounds[name] = [2]int64{lo, hi}
-	return linExpr{terms: map[string]int64{name: 1}}
-}
-
-// bind maps a program index name to a solver expression.
-func (e *env) bind(idx string, le linExpr) { e.subst[idx] = le }
-
-// lower converts an affine subscript into a solver linExpr under the
-// substitution. Unbound names (should not happen for validated programs)
-// become fresh unbounded-ish variables, keeping the test conservative.
-func (e *env) lower(a ir.Affine, side string) linExpr {
-	out := linExpr{c: a.Const, terms: map[string]int64{}}
-	for idx, coeff := range a.Coeff {
-		le, ok := e.subst[idx]
-		if !ok {
-			le = e.freeVar("unbound_"+side+"_"+idx, -1<<30, 1<<30)
-			e.bind(idx, le)
-		}
-		out.c += coeff * le.c
-		for v, c := range le.terms {
-			out.terms[v] += coeff * c
-		}
-	}
-	for k, v := range out.terms {
-		if v == 0 {
-			delete(out.terms, k)
-		}
-	}
-	return out
-}
-
-// mayZero applies the interval and GCD tests; it returns false only when
-// the equation expr == 0 provably has no solution within bounds.
-func mayZero(e linExpr, bounds map[string][2]int64) bool {
-	lo, hi := e.c, e.c
-	for v, c := range e.terms {
-		b := bounds[v]
-		if c > 0 {
-			lo += c * b[0]
-			hi += c * b[1]
-		} else {
-			lo += c * b[1]
-			hi += c * b[0]
-		}
-	}
-	if lo > 0 || hi < 0 {
+// mayZero reports whether diff == 0 may have a solution within bounds;
+// false is a refutation.
+func (a *acc) mayZero() bool {
+	if a.lo+a.c > 0 || a.hi+a.c < 0 {
 		return false
 	}
-	var g int64
-	for _, c := range e.terms {
-		g = gcd(g, abs64(c))
-	}
-	if g != 0 && e.c%g != 0 {
+	if a.g != 0 && a.c%a.g != 0 {
 		return false
 	}
 	return true
@@ -384,166 +407,151 @@ func loopRange(l ir.LoopInfo) (int64, int64) {
 	return lo, hi
 }
 
-// bindSideLoops introduces independent solver variables for every loop
-// enclosing the reference, skipping the first `skip` loops (already bound
-// as shared/level variables).
-func bindSideLoops(e *env, ref *ir.Ref, side string, skip int) {
-	for i := skip; i < len(ref.Ctx.Loops); i++ {
-		l := ref.Ctx.Loops[i]
-		lo, hi := loopRange(l)
-		e.bind(l.Index, e.freeVar(fmt.Sprintf("%s_%d_%s", side, i, l.Index), lo, hi))
+// addSideLoops introduces the reference's own enclosing loops from depth
+// `skip` on as independent solver variables with the given sign.
+func (a *acc) addSideLoops(ref *ir.Ref, f ir.AffForm, sign int64, skip int) {
+	for k := skip; k < len(ref.Ctx.Loops) && k < ir.MaxAffDepth; k++ {
+		lo, hi := loopRange(ref.Ctx.Loops[k])
+		a.add(sign*f.Depth[k], lo, hi)
 	}
-}
-
-// testDims checks every affine dimension pair for simultaneous equality.
-// srcEnv and dstEnv carry the per-side substitutions; shared bounds are
-// merged. Non-affine dimensions cannot refute.
-func testDims(src, dst *ir.Ref, srcEnv, dstEnv *env) bool {
-	for dim := 0; dim < len(src.Subs); dim++ {
-		sa, sOK := ir.AffineOf(src.Subs[dim])
-		da, dOK := ir.AffineOf(dst.Subs[dim])
-		if !sOK || !dOK {
-			continue // non-affine: cannot refute this dimension
-		}
-		diff := srcEnv.lower(sa, "s").add(dstEnv.lower(da, "d"), -1)
-		// lower may add fresh unbound vars; gather bounds afterwards.
-		bounds := map[string][2]int64{}
-		for k, v := range srcEnv.bounds {
-			bounds[k] = v
-		}
-		for k, v := range dstEnv.bounds {
-			bounds[k] = v
-		}
-		if !mayZero(diff, bounds) {
-			return false
-		}
-	}
-	return true
 }
 
 // mayAliasRegionLevel tests whether src (in an older iteration) and dst
 // (in a strictly younger iteration) of a loop region may access the same
 // location. Iterations are numbered t = 0..n-1 in execution order, with
 // index value From + Step*t; the younger side is shifted by d >= 1.
-func mayAliasRegionLevel(r *ir.Region, src, dst *ir.Ref) bool {
+func mayAliasRegionLevel(r *ir.Region, src, dst *ir.Ref, idx *ir.RegionIndex) bool {
+	if idx.SlowAff[src.ID] || idx.SlowAff[dst.ID] {
+		return slowRegionLevel(r, src, dst)
+	}
 	n := int64(r.InstanceCount())
 	if n < 2 {
 		return false
 	}
-	srcEnv, dstEnv := newEnv(), newEnv()
-	ts := srcEnv.freeVar("t_s", 0, n-2)
-	d := srcEnv.freeVar("t_shift", 1, n-1)
-	// index_src = From + Step*t_s ; index_dst = From + Step*(t_s + d)
-	idxSrc := linExpr{c: int64(r.From), terms: map[string]int64{}}
-	for v, c := range ts.terms {
-		idxSrc.terms[v] = c * int64(r.Step)
+	sa, da := idx.Aff[src.ID], idx.Aff[dst.ID]
+	for dim := 0; dim < len(src.Subs); dim++ {
+		sf, df := sa[dim], da[dim]
+		if !sf.OK || !df.OK {
+			continue // non-affine: cannot refute this dimension
+		}
+		var eq acc
+		// index_src = From + Step*t ; index_dst = From + Step*(t + d)
+		eq.c = sf.Const - df.Const + (sf.Reg-df.Reg)*int64(r.From)
+		eq.add((sf.Reg-df.Reg)*int64(r.Step), 0, n-2)
+		eq.add(-df.Reg*int64(r.Step), 1, n-1)
+		eq.addSideLoops(src, sf, 1, 0)
+		eq.addSideLoops(dst, df, -1, 0)
+		if !eq.mayZero() {
+			return false
+		}
 	}
-	idxDst := linExpr{c: int64(r.From), terms: map[string]int64{}}
-	for v, c := range ts.terms {
-		idxDst.terms[v] += c * int64(r.Step)
-	}
-	for v, c := range d.terms {
-		idxDst.terms[v] += c * int64(r.Step)
-	}
-	srcEnv.bind(r.Index, idxSrc)
-	// The dst env shares the solver variables of ts and d.
-	for k, v := range srcEnv.bounds {
-		dstEnv.bounds[k] = v
-	}
-	dstEnv.bind(r.Index, idxDst)
-	bindSideLoops(srcEnv, src, "s", 0)
-	bindSideLoops(dstEnv, dst, "d", 0)
-	return testDims(src, dst, srcEnv, dstEnv)
+	return true
 }
 
 // mayAliasInnerLevel tests a cross-iteration dependence of the common
 // inner loop at the given level, with all outer common loops at equal
 // iterations. srcEarlier selects the direction: when true, r1 is the
 // source executing in an earlier iteration of the level loop.
-func mayAliasInnerLevel(r *ir.Region, r1, r2 *ir.Ref, common []ir.LoopInfo, level int, srcEarlier bool) bool {
+func mayAliasInnerLevel(r *ir.Region, r1, r2 *ir.Ref, nCommon, level int, srcEarlier bool, idx *ir.RegionIndex) bool {
 	src, dst := r1, r2
 	if !srcEarlier {
 		src, dst = r2, r1
 	}
-	srcEnv, dstEnv := newEnv(), newEnv()
-	bindRegionIndexShared(r, srcEnv, dstEnv)
-	// Outer common loops: shared variables.
-	for i := 0; i < level; i++ {
-		l := common[i]
-		lo, hi := loopRange(l)
-		v := srcEnv.freeVar(fmt.Sprintf("c_%d_%s", i, l.Index), lo, hi)
-		srcEnv.bind(l.Index, v)
-		dstEnv.bounds[fmt.Sprintf("c_%d_%s", i, l.Index)] = [2]int64{lo, hi}
-		dstEnv.bind(l.Index, v)
+	if idx.SlowAff[src.ID] || idx.SlowAff[dst.ID] {
+		return slowInnerLevel(r, src, dst, r1.Ctx.Loops[:nCommon], level)
 	}
-	// Level loop: dst iterates later: value_dst = value_src + Step*d, d>=1.
-	l := common[level]
-	lo, hi := loopRange(l)
+	l := r1.Ctx.Loops[level]
 	trips := int64(l.Trips())
 	if trips < 2 {
 		return false
 	}
-	base := srcEnv.freeVar(fmt.Sprintf("L%d_%s", level, l.Index), lo, hi)
-	shift := srcEnv.freeVar(fmt.Sprintf("L%d_d", level), 1, trips-1)
-	srcEnv.bind(l.Index, base)
-	for k, v := range srcEnv.bounds {
-		dstEnv.bounds[k] = v
+	sa, da := idx.Aff[src.ID], idx.Aff[dst.ID]
+	for dim := 0; dim < len(src.Subs); dim++ {
+		sf, df := sa[dim], da[dim]
+		if !sf.OK || !df.OK {
+			continue
+		}
+		var eq acc
+		eq.c = sf.Const - df.Const
+		addRegionIndexShared(&eq, r, sf, df)
+		// Outer common loops: shared variables.
+		for k := 0; k < level; k++ {
+			lo, hi := loopRange(r1.Ctx.Loops[k])
+			eq.add(sf.Depth[k]-df.Depth[k], lo, hi)
+		}
+		// Level loop: dst iterates later: value_dst = value_src + Step*d, d>=1.
+		lo, hi := loopRange(l)
+		eq.add(sf.Depth[level]-df.Depth[level], lo, hi)
+		eq.add(-df.Depth[level]*int64(l.Step), 1, trips-1)
+		// Remaining loops per side are independent.
+		eq.addSideLoops(src, sf, 1, level+1)
+		eq.addSideLoops(dst, df, -1, level+1)
+		if !eq.mayZero() {
+			return false
+		}
 	}
-	later := linExpr{c: 0, terms: map[string]int64{}}
-	for v, c := range base.terms {
-		later.terms[v] += c
-	}
-	for v, c := range shift.terms {
-		later.terms[v] += c * int64(l.Step)
-	}
-	dstEnv.bind(l.Index, later)
-	// Remaining loops per side are independent.
-	bindSideLoops(srcEnv, src, "s", level+1)
-	bindSideLoops(dstEnv, dst, "d", level+1)
-	return testDims(src, dst, srcEnv, dstEnv)
+	return true
 }
 
 // mayAliasSameIteration tests equality with all common loops at the same
 // iteration and remaining loops independent.
-func mayAliasSameIteration(r *ir.Region, r1, r2 *ir.Ref, common []ir.LoopInfo) bool {
-	srcEnv, dstEnv := newEnv(), newEnv()
-	bindRegionIndexShared(r, srcEnv, dstEnv)
-	for i, l := range common {
-		lo, hi := loopRange(l)
-		name := fmt.Sprintf("c_%d_%s", i, l.Index)
-		v := srcEnv.freeVar(name, lo, hi)
-		srcEnv.bind(l.Index, v)
-		dstEnv.bounds[name] = [2]int64{lo, hi}
-		dstEnv.bind(l.Index, v)
+func mayAliasSameIteration(r *ir.Region, r1, r2 *ir.Ref, nCommon int, idx *ir.RegionIndex) bool {
+	if idx.SlowAff[r1.ID] || idx.SlowAff[r2.ID] {
+		return slowSameIteration(r, r1, r2, r1.Ctx.Loops[:nCommon])
 	}
-	bindSideLoops(srcEnv, r1, "s", len(common))
-	bindSideLoops(dstEnv, r2, "d", len(common))
-	return testDims(r1, r2, srcEnv, dstEnv)
+	sa, da := idx.Aff[r1.ID], idx.Aff[r2.ID]
+	for dim := 0; dim < len(r1.Subs); dim++ {
+		sf, df := sa[dim], da[dim]
+		if !sf.OK || !df.OK {
+			continue
+		}
+		var eq acc
+		eq.c = sf.Const - df.Const
+		addRegionIndexShared(&eq, r, sf, df)
+		for k := 0; k < nCommon; k++ {
+			lo, hi := loopRange(r1.Ctx.Loops[k])
+			eq.add(sf.Depth[k]-df.Depth[k], lo, hi)
+		}
+		eq.addSideLoops(r1, sf, 1, nCommon)
+		eq.addSideLoops(r2, df, -1, nCommon)
+		if !eq.mayZero() {
+			return false
+		}
+	}
+	return true
 }
 
 // mayAliasIndependent tests equality with every loop variable independent
 // on each side (used for cross-segment pairs in CFG regions).
-func mayAliasIndependent(r *ir.Region, src, dst *ir.Ref) bool {
-	srcEnv, dstEnv := newEnv(), newEnv()
-	bindSideLoops(srcEnv, src, "s", 0)
-	bindSideLoops(dstEnv, dst, "d", 0)
-	return testDims(src, dst, srcEnv, dstEnv)
+func mayAliasIndependent(r *ir.Region, src, dst *ir.Ref, idx *ir.RegionIndex) bool {
+	if idx.SlowAff[src.ID] || idx.SlowAff[dst.ID] {
+		return slowIndependent(r, src, dst)
+	}
+	sa, da := idx.Aff[src.ID], idx.Aff[dst.ID]
+	for dim := 0; dim < len(src.Subs); dim++ {
+		sf, df := sa[dim], da[dim]
+		if !sf.OK || !df.OK {
+			continue
+		}
+		var eq acc
+		eq.c = sf.Const - df.Const
+		eq.addSideLoops(src, sf, 1, 0)
+		eq.addSideLoops(dst, df, -1, 0)
+		if !eq.mayZero() {
+			return false
+		}
+	}
+	return true
 }
 
-// bindRegionIndexShared binds the region index of a loop region to one
+// addRegionIndexShared binds the region index of a loop region to one
 // shared solver variable on both sides (intra-segment tests happen within
 // a single iteration of the region loop).
-func bindRegionIndexShared(r *ir.Region, srcEnv, dstEnv *env) {
+func addRegionIndexShared(eq *acc, r *ir.Region, sf, df ir.AffForm) {
 	if r.Kind != ir.LoopRegion {
 		return
 	}
 	n := int64(r.InstanceCount())
-	t := srcEnv.freeVar("t_shared", 0, n-1)
-	idx := linExpr{c: int64(r.From), terms: map[string]int64{}}
-	for v, c := range t.terms {
-		idx.terms[v] = c * int64(r.Step)
-	}
-	srcEnv.bind(r.Index, idx)
-	dstEnv.bounds["t_shared"] = srcEnv.bounds["t_shared"]
-	dstEnv.bind(r.Index, idx)
+	eq.c += (sf.Reg - df.Reg) * int64(r.From)
+	eq.add((sf.Reg-df.Reg)*int64(r.Step), 0, n-1)
 }

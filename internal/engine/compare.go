@@ -24,7 +24,7 @@ func LiveOutMismatch(p *ir.Program, labelings map[*ir.Region]*idem.Result, a, b 
 		return fmt.Errorf("engine: no labeling for final region")
 	}
 	for _, v := range p.Vars {
-		if !lab.Info.LiveOut[v] {
+		if !lab.Info.LiveOut(v) {
 			continue
 		}
 		av := VarValues(a.Memory, a.Layout, v)

@@ -22,7 +22,7 @@ func TestCASEWithoutLabelsEqualsHOSE(t *testing.T) {
 		labs := idem.LabelProgram(p)
 		for _, res := range labs {
 			for _, ref := range res.Region.Refs {
-				res.Labels[ref] = idem.Speculative
+				res.SetLabel(ref, idem.Speculative)
 			}
 		}
 		cfg := DefaultConfig()

@@ -241,7 +241,7 @@ func TestMislabelingBreaksExecution(t *testing.T) {
 	labs := idem.LabelProgram(p)
 	r := p.Regions[0]
 	for _, ref := range r.Refs {
-		labs[r].Labels[ref] = idem.Idempotent // WRONG on purpose
+		labs[r].SetLabel(ref, idem.Idempotent) // WRONG on purpose
 	}
 	cfg := DefaultConfig()
 	seq, err := RunSequential(p, cfg)

@@ -46,7 +46,7 @@ func NewLayout(p *ir.Program, labelings map[*ir.Region]*idem.Result, slots int) 
 		for _, v := range p.Vars {
 			private := false
 			for _, res := range labelings {
-				if res.Info.Private[v] {
+				if res.Info.Private(v) {
 					private = true
 					break
 				}

@@ -275,11 +275,11 @@ func (sr *specRunner) setRegion(r *ir.Region, lab *idem.Result) {
 	varDims := make(map[*ir.Var][]dimSpec, 8)
 	for _, ref := range r.Refs {
 		md := &sr.refMeta[ref.ID]
-		md.label = lab.Labels[ref]
-		md.cat = uint8(lab.Categories[ref])
-		md.private = lab.Info.Private[ref.Var]
+		md.label = lab.Label(ref)
+		md.cat = uint8(lab.Category(ref))
+		md.private = lab.Info.Private(ref.Var)
 		md.bypass = sr.mode == CASE && md.label == idem.Idempotent
-		md.readOnly = lab.Info.ReadOnly[ref.Var]
+		md.readOnly = lab.Info.ReadOnly(ref.Var)
 		if md.private {
 			md.base = sr.layout.PrivOffset[ref.Var]
 		} else {
@@ -473,7 +473,7 @@ func (sr *specRunner) heapDown(i int) bool {
 // variable (such segments pay the stack setup cost).
 func (sr *specRunner) segmentUsesPrivate(seg *ir.Segment) bool {
 	for _, ref := range sr.r.Refs {
-		if ref.SegID == seg.ID && sr.lab.Info.Private[ref.Var] {
+		if ref.SegID == seg.ID && sr.lab.Info.Private(ref.Var) {
 			return true
 		}
 	}

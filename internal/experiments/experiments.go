@@ -254,8 +254,8 @@ func AblationCategories(spec workloads.LoopSpec, cfg engine.Config) ([]CategoryA
 		labs := idem.LabelProgram(p)
 		for _, res := range labs {
 			for _, ref := range res.Region.Refs {
-				if res.Labels[ref] == idem.Idempotent && !c.keep[res.Categories[ref]] {
-					res.Labels[ref] = idem.Speculative
+				if res.Label(ref) == idem.Idempotent && !c.keep[res.Category(ref)] {
+					res.SetLabel(ref, idem.Speculative)
 				}
 			}
 		}
@@ -400,18 +400,38 @@ type NamedProgram struct {
 // may-dependences, anti-dependence sources become sinks and Lemma 3
 // forces them speculative. (Static fractions; the BUTS_DO1 S1 reads of
 // Figure 4 are the canonical casualties.)
+//
+// Both labelings run at program level so multi-region programs see the
+// same inter-region liveness every other consumer of LabelProgram does;
+// the reported fraction aggregates static references across all regions.
+// For the canonical single-region loops this equals the former per-region
+// computation with the conservative live-out default.
 func AblationDepDirection(progs []NamedProgram) []DirectionRow {
 	var out []DirectionRow
 	for _, np := range progs {
-		p := np.Make()
-		precise := idem.LabelRegion(p, p.Regions[0], nil)
-		pf, _ := precise.IdempotentFraction()
-		p2 := np.Make()
-		cons := idem.LabelRegionConservative(p2, p2.Regions[0], nil)
-		cf, _ := cons.IdempotentFraction()
+		pf := staticIdemFraction(idem.LabelProgram(np.Make()))
+		cf := staticIdemFraction(idem.LabelProgramConservative(np.Make()))
 		out = append(out, DirectionRow{Loop: np.Name, PreciseFrac: pf, ConservativeFrac: cf})
 	}
 	return out
+}
+
+// staticIdemFraction is the fraction of static references labeled
+// idempotent over every region of the program.
+func staticIdemFraction(labs map[*ir.Region]*idem.Result) float64 {
+	total, cnt := 0, 0
+	for _, res := range labs {
+		total += len(res.Region.Refs)
+		for _, ref := range res.Region.Refs {
+			if res.Label(ref) == idem.Idempotent {
+				cnt++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cnt) / float64(total)
 }
 
 // DefaultDirectionPrograms returns the canonical inputs for the

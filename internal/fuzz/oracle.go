@@ -148,8 +148,8 @@ func breakLabeling(p *ir.Program, labs map[*ir.Region]*idem.Result) bool {
 	for _, r := range p.Regions {
 		lab := labs[r]
 		for _, ref := range r.Refs {
-			if ref.Access == ir.Write && lab.Labels[ref] == idem.Speculative {
-				lab.Labels[ref] = idem.Idempotent
+			if ref.Access == ir.Write && lab.Label(ref) == idem.Speculative {
+				lab.SetLabel(ref, idem.Idempotent)
 				return true
 			}
 		}

@@ -1,0 +1,30 @@
+package idem
+
+import (
+	"testing"
+
+	"refidem/internal/workloads"
+)
+
+// TestLabelProgramAllocs locks in the dense pipeline's allocation budget:
+// a steady-state LabelProgram call allocates only the returned Result
+// structures (labels, categories, analysis artifacts), not per-reference
+// scratch. The BUTS_DO1 loop is the analysis benchmark's program.
+func TestLabelProgramAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are nondeterministic under the race detector (sync.Pool sheds items)")
+	}
+	p := workloads.ButsDO1(8)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools.
+	LabelProgram(p)
+	got := testing.AllocsPerRun(20, func() { LabelProgram(p) })
+	// 43 at the time of writing; the returned Result accounts for all of
+	// them. Headroom for toolchain variation, but far below the map-based
+	// pipeline's 2330.
+	if got > 60 {
+		t.Errorf("LabelProgram allocations: got %.0f, want <= 60", got)
+	}
+}

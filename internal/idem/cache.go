@@ -19,7 +19,11 @@ import (
 // The cache is safe for concurrent use (the experiment harness fans
 // sweep points out across workers): the first caller of a fingerprint
 // computes, concurrent callers of the same fingerprint wait on its entry,
-// and eviction is LRU.
+// and eviction is LRU. Entries whose computation is still in flight are
+// pinned: eviction skips them (temporarily exceeding capacity when every
+// resident entry is pinned), so a concurrent same-fingerprint caller
+// always finds the computing entry and the single-flight guarantee holds
+// even under eviction pressure.
 type ProgramCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -35,11 +39,21 @@ type cacheEntry struct {
 	fp   ir.Fingerprint
 	elem *list.Element
 
+	// waiters counts callers between lookup and computation completion;
+	// guarded by ProgramCache.mu. A non-zero count pins the entry
+	// against eviction.
+	waiters int
+
 	// seed is the program the entry was created with; compute labels it.
 	seed *ir.Program
 	labs map[*ir.Region]*Result
 	err  error
 }
+
+// testComputeHook, when non-nil, runs at the start of every entry
+// computation. Tests use it to hold a computation in flight while they
+// provoke eviction.
+var testComputeHook func(*ir.Program)
 
 // NewProgramCache returns a cache holding up to capacity labeled
 // programs (minimum 1).
@@ -71,17 +85,26 @@ func (c *ProgramCache) Labeled(p *ir.Program) (*ir.Program, map[*ir.Region]*Resu
 		e = &cacheEntry{fp: fp, seed: p}
 		e.elem = c.order.PushFront(e)
 		c.entries[fp] = e
-		for c.order.Len() > c.cap {
-			oldest := c.order.Back()
-			victim := oldest.Value.(*cacheEntry)
-			c.order.Remove(oldest)
-			delete(c.entries, victim.fp)
-		}
 		c.misses.Add(1)
 	}
+	e.waiters++
+	c.evictExcessLocked()
 	c.mu.Unlock()
+	// The unpin must run even if the compute body panics, or the entry
+	// would stay pinned against eviction for the process lifetime.
+	defer func() {
+		c.mu.Lock()
+		e.waiters--
+		// An entry kept over capacity because it was pinned is reclaimed
+		// as soon as its last waiter drains.
+		c.evictExcessLocked()
+		c.mu.Unlock()
+	}()
 
 	e.once.Do(func() {
+		if hook := testComputeHook; hook != nil {
+			hook(e.seed)
+		}
 		if err := e.seed.Validate(); err != nil {
 			e.err = err
 			return
@@ -95,10 +118,32 @@ func (c *ProgramCache) Labeled(p *ir.Program) (*ir.Program, map[*ir.Region]*Resu
 		}
 		e.labs = labs
 	})
+
 	if e.err != nil {
 		return e.seed, nil, e.err
 	}
 	return e.seed, e.labs, nil
+}
+
+// evictExcessLocked trims the cache to capacity, oldest first, skipping
+// pinned (in-flight) entries. When every resident entry is pinned the
+// cache stays over capacity until a waiter drains. Callers must hold mu.
+func (c *ProgramCache) evictExcessLocked() {
+	for c.order.Len() > c.cap {
+		var victim *list.Element
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*cacheEntry).waiters == 0 {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		v := victim.Value.(*cacheEntry)
+		c.order.Remove(victim)
+		delete(c.entries, v.fp)
+	}
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -112,7 +157,9 @@ func (c *ProgramCache) ResetStats() {
 	c.misses.Store(0)
 }
 
-// Purge drops every cached entry and zeroes the counters.
+// Purge drops every cached entry and zeroes the counters. In-flight
+// computations complete on their (now unreachable) entries; later callers
+// of the same fingerprint recompute.
 func (c *ProgramCache) Purge() {
 	c.mu.Lock()
 	c.entries = make(map[ir.Fingerprint]*cacheEntry)

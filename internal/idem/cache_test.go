@@ -51,8 +51,8 @@ func TestProgramCacheLabelsMatchDirectPipeline(t *testing.T) {
 	direct := LabelProgram(p)
 	r := p.Regions[0]
 	for _, ref := range r.Refs {
-		if labs[r].Labels[ref] != direct[r].Labels[ref] {
-			t.Errorf("ref %v: cached label %v != direct label %v", ref, labs[r].Labels[ref], direct[r].Labels[ref])
+		if labs[r].Label(ref) != direct[r].Label(ref) {
+			t.Errorf("ref %v: cached label %v != direct label %v", ref, labs[r].Label(ref), direct[r].Label(ref))
 		}
 	}
 }
@@ -97,5 +97,74 @@ func TestProgramCacheReportsValidationErrors(t *testing.T) {
 	p.Regions[0].Step = 0 // invalid: zero step
 	if _, _, err := c.Labeled(p); err == nil {
 		t.Error("invalid program labeled without error")
+	}
+}
+
+// TestProgramCacheEvictionDuringCompute provokes the single-flight hazard
+// the waiter pinning exists for: under a capacity-1 cache, inserting a
+// second program while the first is still computing must NOT evict the
+// in-flight entry — a concurrent caller with the first fingerprint has to
+// find it and wait instead of recomputing.
+func TestProgramCacheEvictionDuringCompute(t *testing.T) {
+	c := NewProgramCache(1)
+	slow := cacheProgram(7)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	testComputeHook = func(p *ir.Program) {
+		if p == slow {
+			entered <- struct{}{}
+			<-release
+		}
+	}
+	defer func() { testComputeHook = nil }()
+
+	type outcome struct {
+		p   *ir.Program
+		err error
+	}
+	first := make(chan outcome, 1)
+	go func() {
+		p, _, err := c.Labeled(slow)
+		first <- outcome{p, err}
+	}()
+	<-entered // the slow computation is now in flight and pins its entry
+
+	// Insert a different program; with capacity 1 this forces an eviction
+	// attempt while the slow entry is pinned.
+	if _, _, err := c.Labeled(cacheProgram(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A same-fingerprint caller must hit the pinned entry and wait.
+	second := make(chan outcome, 1)
+	go func() {
+		p, _, err := c.Labeled(cacheProgram(7))
+		second <- outcome{p, err}
+	}()
+	// Wait until the second caller has registered its lookup (a hit; with
+	// the pinning broken it registers a third miss instead, which the
+	// assertions below report) so releasing the computation cannot race
+	// its arrival.
+	for {
+		hits, misses := c.Stats()
+		if hits >= 1 || misses >= 3 {
+			break
+		}
+	}
+	close(release)
+
+	o1, o2 := <-first, <-second
+	if o1.err != nil || o2.err != nil {
+		t.Fatalf("errors: %v / %v", o1.err, o2.err)
+	}
+	if o1.p != o2.p {
+		t.Error("second caller did not share the in-flight entry's canonical program")
+	}
+	hits, misses := c.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (slow program computed once, other program once)", misses)
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1 (second caller joined the in-flight entry)", hits)
 	}
 }

@@ -12,10 +12,17 @@
 // The package also assigns every idempotent reference to one of the
 // paper's §4.1 categories (fully-independent, read-only, private,
 // shared-dependent), which the evaluation figures break down.
+//
+// Labels and categories are stored densely by reference ID (the region
+// index numbering) and read through the Label/Category accessors; the
+// whole pipeline — dataflow, dependences, RFW, Algorithm 2 — shares one
+// code path between LabelRegion and LabelProgram and allocates only the
+// returned Results in steady state.
 package idem
 
 import (
 	"fmt"
+	"sync"
 
 	"refidem/internal/cfg"
 	"refidem/internal/dataflow"
@@ -79,11 +86,10 @@ func (c Category) String() string {
 }
 
 // Result is the labeling of one region together with the analysis
-// artifacts it was derived from.
+// artifacts it was derived from. Labels and categories are dense slices
+// indexed by reference ID; use Label/Category/SetLabel to access them.
 type Result struct {
-	Region     *ir.Region
-	Labels     map[*ir.Ref]Label
-	Categories map[*ir.Ref]Category
+	Region *ir.Region
 	// FullyIndependent reports that the region carries no cross-segment
 	// data or control dependences (Lemma 7 applies).
 	FullyIndependent bool
@@ -92,17 +98,27 @@ type Result struct {
 	Deps  *deps.Analysis
 	RFW   *rfw.Result
 	Graph *cfg.Graph
+
+	labels []Label
+	cats   []Category
 }
+
+// Label returns the label of a reference of the region.
+func (res *Result) Label(ref *ir.Ref) Label { return res.labels[ref.ID] }
+
+// Category returns the idempotency category of a reference.
+func (res *Result) Category(ref *ir.Ref) Category { return res.cats[ref.ID] }
+
+// SetLabel overrides the label of a reference. Demoting an idempotent
+// reference to speculative is always safe; the ablations and the fuzzer's
+// forced-mislabeling mode use this.
+func (res *Result) SetLabel(ref *ir.Ref, l Label) { res.labels[ref.ID] = l }
 
 // LabelRegion runs the full pipeline (dataflow, dependences, RFW,
 // Algorithm 2) on one region. liveOut overrides the live-out set; pass nil
 // to use the region annotation or the conservative default.
 func LabelRegion(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *Result {
-	g := cfg.FromRegion(r)
-	info := dataflow.AnalyzeRegion(p, r, liveOut)
-	da := deps.Analyze(r, g)
-	rf := rfw.Analyze(r, g, info, da)
-	return label(r, g, info, da, rf)
+	return labelRegion(r, dataflow.AnalyzeRegion(p, r, liveOut), false)
 }
 
 // LabelRegionConservative labels a region with direction-less (treated as
@@ -111,59 +127,82 @@ func LabelRegion(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *Result 
 // ablation: every reference idempotent here is also idempotent under the
 // precise analysis, but not vice versa.
 func LabelRegionConservative(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bool) *Result {
-	g := cfg.FromRegion(r)
-	info := dataflow.AnalyzeRegion(p, r, liveOut)
-	da := deps.Conservative(deps.Analyze(r, g))
-	rf := rfw.Analyze(r, g, info, da)
-	return label(r, g, info, da, rf)
+	return labelRegion(r, dataflow.AnalyzeRegion(p, r, liveOut), true)
 }
 
 // LabelProgram labels every region of the program, using the inter-region
 // liveness pass for live-out sets.
 func LabelProgram(p *ir.Program) map[*ir.Region]*Result {
+	return labelProgram(p, false)
+}
+
+// LabelProgramConservative is LabelProgram under direction-less
+// may-dependences (see LabelRegionConservative). The dependence-direction
+// ablation uses it so multi-region programs get the same inter-region
+// liveness under both analyses.
+func LabelProgramConservative(p *ir.Program) map[*ir.Region]*Result {
+	return labelProgram(p, true)
+}
+
+func labelProgram(p *ir.Program, conservative bool) map[*ir.Region]*Result {
 	infos := dataflow.AnalyzeProgram(p)
 	out := make(map[*ir.Region]*Result, len(p.Regions))
 	for _, r := range p.Regions {
-		g := cfg.FromRegion(r)
-		info := infos[r]
-		da := deps.Analyze(r, g)
-		rf := rfw.Analyze(r, g, info, da)
-		out[r] = label(r, g, info, da, rf)
+		out[r] = labelRegion(r, infos[r], conservative)
 	}
 	return out
 }
 
+// labelRegion is the one shared pipeline body: segment graph, dependence
+// analysis (optionally direction-less), RFW, Algorithm 2.
+func labelRegion(r *ir.Region, info *dataflow.RegionInfo, conservative bool) *Result {
+	g := cfg.FromRegion(r)
+	da := deps.Analyze(r, g)
+	if conservative {
+		da = deps.Conservative(da)
+	}
+	rf := rfw.Analyze(r, g, info, da)
+	return label(r, g, info, da, rf)
+}
+
+// labelScratch pools the Algorithm 2 worklist state.
+var labelPool = sync.Pool{New: func() any { return &labelScratch{} }}
+
+type labelScratch struct {
+	candidate ir.Bits
+}
+
 // label is Algorithm 2.
 func label(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis, rf *rfw.Result) *Result {
+	idx := r.DenseIndex()
+	n := len(r.Refs)
 	res := &Result{
-		Region:     r,
-		Labels:     make(map[*ir.Ref]Label, len(r.Refs)),
-		Categories: make(map[*ir.Ref]Category, len(r.Refs)),
-		Info:       info,
-		Deps:       da,
-		RFW:        rf,
-		Graph:      g,
-	}
-	// Initially, all references are labeled speculative.
-	for _, ref := range r.Refs {
-		res.Labels[ref] = Speculative
-		res.Categories[ref] = CatSpeculative
+		Region: r,
+		Info:   info,
+		Deps:   da,
+		RFW:    rf,
+		Graph:  g,
+		// Zero values are Speculative/CatSpeculative: initially, all
+		// references are labeled speculative.
+		labels: make([]Label, n),
+		cats:   make([]Category, n),
 	}
 
 	// Step 2: fully independent region — label everything idempotent.
 	// Dependences on private variables do not count: privatization gives
 	// each segment its own storage, which removes them.
-	res.FullyIndependent = isFullyIndependent(r, g, info, da)
+	res.FullyIndependent = isFullyIndependent(r, g, info, da, idx)
 	if res.FullyIndependent {
 		for _, ref := range r.Refs {
-			res.Labels[ref] = Idempotent
+			res.labels[ref.ID] = Idempotent
+			local := idx.VarOf[ref.ID]
 			switch {
-			case info.ReadOnly[ref.Var]:
-				res.Categories[ref] = CatReadOnly
-			case info.Private[ref.Var]:
-				res.Categories[ref] = CatPrivate
+			case info.ReadOnlyAt(local):
+				res.cats[ref.ID] = CatReadOnly
+			case info.PrivateAt(local):
+				res.cats[ref.ID] = CatPrivate
 			default:
-				res.Categories[ref] = CatFullyIndependent
+				res.cats[ref.ID] = CatFullyIndependent
 			}
 		}
 		return res
@@ -172,13 +211,14 @@ func label(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analy
 	// Step 3: dependent region.
 	// Read-only and private references.
 	for _, ref := range r.Refs {
+		local := idx.VarOf[ref.ID]
 		switch {
-		case info.ReadOnly[ref.Var]:
-			res.Labels[ref] = Idempotent
-			res.Categories[ref] = CatReadOnly
-		case info.Private[ref.Var]:
-			res.Labels[ref] = Idempotent
-			res.Categories[ref] = CatPrivate
+		case info.ReadOnlyAt(local):
+			res.labels[ref.ID] = Idempotent
+			res.cats[ref.ID] = CatReadOnly
+		case info.PrivateAt(local):
+			res.labels[ref.ID] = Idempotent
+			res.cats[ref.ID] = CatPrivate
 		}
 	}
 	// RFW writes that are not cross-segment dependence sinks (Theorem 1),
@@ -194,55 +234,62 @@ func label(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analy
 	// Demotion iterates to a fixpoint because intra-segment output
 	// dependences between inner-loop iterations can run in both
 	// directions.
-	candidate := make(map[*ir.Ref]bool)
+	sc := labelPool.Get().(*labelScratch)
+	candidate := ir.GrowBits(sc.candidate, n)
+	sc.candidate = candidate
 	for _, ref := range r.Refs {
-		if ref.Access != ir.Write || res.Labels[ref] == Idempotent {
+		if ref.Access != ir.Write || res.labels[ref.ID] == Idempotent {
 			continue
 		}
-		if rf.IsRFW[ref] && !da.IsCrossSink(ref) {
-			candidate[ref] = true
+		if rf.IsRFW(ref) && !da.IsCrossSink(ref) {
+			candidate.Set(int32(ref.ID))
 		}
 	}
 	for changed := true; changed; {
 		changed = false
-		for ref := range candidate {
+		for _, ref := range r.Refs {
+			if !candidate.Get(int32(ref.ID)) {
+				continue
+			}
 			for _, d := range da.SinksAt(ref) {
 				if d.Cross || d.Kind != deps.Output {
 					continue
 				}
-				srcOK := candidate[d.Src] || res.Labels[d.Src] == Idempotent
+				srcOK := candidate.Get(int32(d.Src.ID)) || res.labels[d.Src.ID] == Idempotent
 				if !srcOK {
-					delete(candidate, ref)
+					candidate.Clear(int32(ref.ID))
 					changed = true
 					break
 				}
 			}
 		}
 	}
-	for ref := range candidate {
-		res.Labels[ref] = Idempotent
-		res.Categories[ref] = CatSharedDependent
+	for _, ref := range r.Refs {
+		if candidate.Get(int32(ref.ID)) {
+			res.labels[ref.ID] = Idempotent
+			res.cats[ref.ID] = CatSharedDependent
+		}
 	}
+	labelPool.Put(sc)
 	// Reads: idempotent when not a dependence sink, or when every
 	// dependence into them is intra-segment with an idempotent source
 	// (Theorem 2; the all-quantifier is required — a read that is covered
 	// intra-segment but also the sink of a cross-segment flow must stay
 	// speculative by Lemma 3).
 	for _, ref := range r.Refs {
-		if ref.Access != ir.Read || res.Labels[ref] == Idempotent {
+		if ref.Access != ir.Read || res.labels[ref.ID] == Idempotent {
 			continue
 		}
-		sinks := da.SinksAt(ref)
 		ok := true
-		for _, d := range sinks {
-			if d.Cross || res.Labels[d.Src] != Idempotent {
+		for _, d := range da.SinksAt(ref) {
+			if d.Cross || res.labels[d.Src.ID] != Idempotent {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			res.Labels[ref] = Idempotent
-			res.Categories[ref] = CatSharedDependent
+			res.labels[ref.ID] = Idempotent
+			res.cats[ref.ID] = CatSharedDependent
 		}
 	}
 	return res
@@ -251,12 +298,12 @@ func label(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analy
 // isFullyIndependent implements the Lemma 7 precondition: no cross-segment
 // data dependences (ignoring privatized variables) and no cross-segment
 // control dependences (no branches, no data-dependent trip count).
-func isFullyIndependent(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis) bool {
+func isFullyIndependent(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Analysis, idx *ir.RegionIndex) bool {
 	if g.HasBranch() || r.HasEarlyExit() {
 		return false
 	}
 	for _, d := range da.All {
-		if d.Cross && !info.Private[d.Src.Var] {
+		if d.Cross && !info.PrivateAt(idx.VarOf[d.Src.ID]) {
 			return false
 		}
 	}
@@ -273,9 +320,9 @@ func (res *Result) IdempotentFraction() (total float64, byCat map[Category]float
 	}
 	cnt := 0
 	for _, ref := range res.Region.Refs {
-		if res.Labels[ref] == Idempotent {
+		if res.labels[ref.ID] == Idempotent {
 			cnt++
-			byCat[res.Categories[ref]] += 1
+			byCat[res.cats[ref.ID]] += 1
 		}
 	}
 	for c := range byCat {
@@ -294,12 +341,12 @@ func (res *Result) CheckTheorems() []error {
 	if res.FullyIndependent {
 		// Lemma 7: everything idempotent; and the precondition must hold.
 		for _, d := range res.Deps.All {
-			if d.Cross && !res.Info.Private[d.Src.Var] {
+			if d.Cross && !res.Info.Private(d.Src.Var) {
 				errs = append(errs, fmt.Errorf("region marked fully independent but has cross dep %v", d))
 			}
 		}
 		for _, ref := range r.Refs {
-			if res.Labels[ref] != Idempotent {
+			if res.labels[ref.ID] != Idempotent {
 				errs = append(errs, fmt.Errorf("fully independent region has speculative ref %v", ref))
 			}
 		}
@@ -307,19 +354,19 @@ func (res *Result) CheckTheorems() []error {
 	}
 	wantWrites := res.expectedWrites()
 	for _, ref := range r.Refs {
-		got := res.Labels[ref] == Idempotent
+		got := res.labels[ref.ID] == Idempotent
 		want := res.expectedIdempotent(ref, wantWrites)
 		if got != want {
-			errs = append(errs, fmt.Errorf("ref %v: labeled %v, theorems say idempotent=%v", ref, res.Labels[ref], want))
+			errs = append(errs, fmt.Errorf("ref %v: labeled %v, theorems say idempotent=%v", ref, res.labels[ref.ID], want))
 		}
 	}
 	// Lemma 3: the sink of a cross-segment dependence must be speculative
 	// (unless privatization removed the dependence).
 	for _, d := range res.Deps.All {
-		if !d.Cross || res.Info.Private[d.Dst.Var] {
+		if !d.Cross || res.Info.Private(d.Dst.Var) {
 			continue
 		}
-		if res.Labels[d.Dst] == Idempotent {
+		if res.labels[d.Dst.ID] == Idempotent {
 			errs = append(errs, fmt.Errorf("cross-segment sink labeled idempotent: %v", d))
 		}
 	}
@@ -329,30 +376,34 @@ func (res *Result) CheckTheorems() []error {
 // expectedWrites independently derives the idempotent write set: Theorem 1
 // (RFW and not a cross-segment sink) plus the LC2 strengthening for
 // intra-segment output dependences with speculative sources, iterated to a
-// fixpoint.
-func (res *Result) expectedWrites() map[*ir.Ref]bool {
-	ok := make(map[*ir.Ref]bool)
-	for _, ref := range res.Region.Refs {
+// fixpoint. The set is a bitset over reference IDs.
+func (res *Result) expectedWrites() ir.Bits {
+	r := res.Region
+	ok := ir.MakeBits(len(r.Refs))
+	for _, ref := range r.Refs {
 		if ref.Access != ir.Write {
 			continue
 		}
-		if res.Info.ReadOnly[ref.Var] || res.Info.Private[ref.Var] {
-			ok[ref] = true
+		if res.Info.ReadOnly(ref.Var) || res.Info.Private(ref.Var) {
+			ok.Set(int32(ref.ID))
 			continue
 		}
-		if res.RFW.IsRFW[ref] && !res.Deps.IsCrossSink(ref) {
-			ok[ref] = true
+		if res.RFW.IsRFW(ref) && !res.Deps.IsCrossSink(ref) {
+			ok.Set(int32(ref.ID))
 		}
 	}
 	for changed := true; changed; {
 		changed = false
-		for ref := range ok {
-			if res.Info.Private[ref.Var] || res.Info.ReadOnly[ref.Var] {
+		for _, ref := range r.Refs {
+			if !ok.Get(int32(ref.ID)) {
+				continue
+			}
+			if res.Info.Private(ref.Var) || res.Info.ReadOnly(ref.Var) {
 				continue
 			}
 			for _, d := range res.Deps.SinksAt(ref) {
-				if !d.Cross && d.Kind == deps.Output && !ok[d.Src] {
-					delete(ok, ref)
+				if !d.Cross && d.Kind == deps.Output && !ok.Get(int32(d.Src.ID)) {
+					ok.Clear(int32(ref.ID))
 					changed = true
 					break
 				}
@@ -363,12 +414,12 @@ func (res *Result) expectedWrites() map[*ir.Ref]bool {
 }
 
 // expectedIdempotent is the direct theorem-based classification.
-func (res *Result) expectedIdempotent(ref *ir.Ref, wantWrites map[*ir.Ref]bool) bool {
-	if res.Info.ReadOnly[ref.Var] || res.Info.Private[ref.Var] {
+func (res *Result) expectedIdempotent(ref *ir.Ref, wantWrites ir.Bits) bool {
+	if res.Info.ReadOnly(ref.Var) || res.Info.Private(ref.Var) {
 		return true
 	}
 	if ref.Access == ir.Write {
-		return wantWrites[ref]
+		return wantWrites.Get(int32(ref.ID))
 	}
 	for _, d := range res.Deps.SinksAt(ref) {
 		if d.Cross {

@@ -34,24 +34,24 @@ func TestIntroExampleLabels(t *testing.T) {
 
 	// B is read-only: both reads idempotent.
 	for _, ref := range r.VarRefs(p.Var("B")) {
-		if res.Labels[ref] != Idempotent || res.Categories[ref] != CatReadOnly {
-			t.Errorf("B ref %v: %v/%v, want idempotent/read-only", ref, res.Labels[ref], res.Categories[ref])
+		if res.Label(ref) != Idempotent || res.Category(ref) != CatReadOnly {
+			t.Errorf("B ref %v: %v/%v, want idempotent/read-only", ref, res.Label(ref), res.Category(ref))
 		}
 	}
 	// The first write to A (segment 1) is idempotent; the read of A in
 	// segment 2 is the cross-segment flow sink and stays speculative.
 	aw := refBy(t, r, "A", ir.Write, 0, 0)
-	if res.Labels[aw] != Idempotent || res.Categories[aw] != CatSharedDependent {
-		t.Errorf("A write: %v/%v, want idempotent/shared-dependent", res.Labels[aw], res.Categories[aw])
+	if res.Label(aw) != Idempotent || res.Category(aw) != CatSharedDependent {
+		t.Errorf("A write: %v/%v, want idempotent/shared-dependent", res.Label(aw), res.Category(aw))
 	}
 	ar := refBy(t, r, "A", ir.Read, 1, 0)
-	if res.Labels[ar] != Speculative {
-		t.Errorf("A read in segment 2 must be speculative, got %v", res.Labels[ar])
+	if res.Label(ar) != Speculative {
+		t.Errorf("A read in segment 2 must be speculative, got %v", res.Label(ar))
 	}
 	// C is private to segment 2: all refs idempotent.
 	for _, ref := range r.VarRefs(p.Var("C")) {
-		if res.Labels[ref] != Idempotent || res.Categories[ref] != CatPrivate {
-			t.Errorf("C ref %v: %v/%v, want idempotent/private", ref, res.Labels[ref], res.Categories[ref])
+		if res.Label(ref) != Idempotent || res.Category(ref) != CatPrivate {
+			t.Errorf("C ref %v: %v/%v, want idempotent/private", ref, res.Label(ref), res.Category(ref))
 		}
 	}
 	if res.FullyIndependent {
@@ -118,16 +118,16 @@ func TestFigure2Labels(t *testing.T) {
 	}
 	for _, c := range cases {
 		ref := refBy(t, r, c.name, c.acc, c.seg, c.pos)
-		if res.Labels[ref] != c.label || res.Categories[ref] != c.cat {
+		if res.Label(ref) != c.label || res.Category(ref) != c.cat {
 			t.Errorf("%s %v in R%d: got %v/%v, want %v/%v",
-				c.name, c.acc, c.seg, res.Labels[ref], res.Categories[ref], c.label, c.cat)
+				c.name, c.acc, c.seg, res.Label(ref), res.Category(ref), c.label, c.cat)
 		}
 	}
 	// Scratch temporaries are private.
 	for _, name := range []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"} {
 		for _, ref := range r.VarRefs(p.Var(name)) {
-			if res.Categories[ref] != CatPrivate {
-				t.Errorf("%s should be private, got %v", name, res.Categories[ref])
+			if res.Category(ref) != CatPrivate {
+				t.Errorf("%s should be private, got %v", name, res.Category(ref))
 			}
 		}
 	}
@@ -146,18 +146,18 @@ func TestButsLabels(t *testing.T) {
 	for _, ref := range r.Refs {
 		switch {
 		case ref.Var == tv:
-			if res.Labels[ref] != Idempotent || res.Categories[ref] != CatPrivate {
-				t.Errorf("t ref %v: %v/%v, want idempotent/private", ref, res.Labels[ref], res.Categories[ref])
+			if res.Label(ref) != Idempotent || res.Category(ref) != CatPrivate {
+				t.Errorf("t ref %v: %v/%v, want idempotent/private", ref, res.Label(ref), res.Category(ref))
 			}
 		case ref.Var == v && ref.Access == ir.Write:
-			if res.Labels[ref] != Speculative {
+			if res.Label(ref) != Speculative {
 				t.Errorf("S2 write %v must stay speculative", ref)
 			}
 		case ref.Var == v && ref.Access == ir.Read:
 			// The three S1 gather reads are idempotent (sources of anti
 			// dependences only); so is the S2 read-modify-write read
 			// (not a sink of anything).
-			if res.Labels[ref] != Idempotent {
+			if res.Label(ref) != Idempotent {
 				t.Errorf("v read %v should be idempotent", ref)
 			}
 		}
@@ -192,19 +192,19 @@ func TestFullyIndependentRegion(t *testing.T) {
 		t.Fatal("region should be fully independent")
 	}
 	for _, ref := range r.Refs {
-		if res.Labels[ref] != Idempotent {
+		if res.Label(ref) != Idempotent {
 			t.Errorf("ref %v should be idempotent in a fully independent region", ref)
 		}
 	}
 	// Category breakdown: b is read-only, a is shared (fully-independent).
 	for _, ref := range r.VarRefs(b) {
-		if res.Categories[ref] != CatReadOnly {
-			t.Errorf("b ref: %v, want read-only", res.Categories[ref])
+		if res.Category(ref) != CatReadOnly {
+			t.Errorf("b ref: %v, want read-only", res.Category(ref))
 		}
 	}
 	for _, ref := range r.VarRefs(a) {
-		if res.Categories[ref] != CatFullyIndependent {
-			t.Errorf("a ref: %v, want fully-independent", res.Categories[ref])
+		if res.Category(ref) != CatFullyIndependent {
+			t.Errorf("a ref: %v, want fully-independent", res.Category(ref))
 		}
 	}
 	if errs := res.CheckTheorems(); len(errs) > 0 {
@@ -232,8 +232,8 @@ func TestPrivateDepsDoNotBlockFullIndependence(t *testing.T) {
 		t.Error("private temporary should not block full independence")
 	}
 	for _, ref := range r.VarRefs(tv) {
-		if res.Categories[ref] != CatPrivate {
-			t.Errorf("tv should be private, got %v", res.Categories[ref])
+		if res.Category(ref) != CatPrivate {
+			t.Errorf("tv should be private, got %v", res.Category(ref))
 		}
 	}
 }
@@ -297,14 +297,14 @@ func TestLabelProgramMultiRegionLiveness(t *testing.T) {
 	}
 	res1 := results[r1]
 	wx := r1.Refs[0]
-	if res1.Labels[wx] != Speculative {
-		t.Errorf("x write is an output sink and x is live into region 2: must be speculative, got %v", res1.Labels[wx])
+	if res1.Label(wx) != Speculative {
+		t.Errorf("x write is an output sink and x is live into region 2: must be speculative, got %v", res1.Label(wx))
 	}
 	// In region 2 x is read-only.
 	res2 := results[r2]
 	for _, ref := range r2.VarRefs(x) {
-		if res2.Categories[ref] != CatReadOnly {
-			t.Errorf("x in r2: %v, want read-only", res2.Categories[ref])
+		if res2.Category(ref) != CatReadOnly {
+			t.Errorf("x in r2: %v, want read-only", res2.Category(ref))
 		}
 	}
 	for _, res := range results {

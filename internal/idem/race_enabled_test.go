@@ -1,0 +1,8 @@
+//go:build race
+
+package idem
+
+// raceEnabled gates allocation-count assertions: sync.Pool sheds items
+// nondeterministically under the race detector, so steady-state counts
+// are only stable without it.
+const raceEnabled = true

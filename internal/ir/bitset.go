@@ -1,0 +1,41 @@
+package ir
+
+// Bits is a word-packed bitset used by the dense analysis pipeline.
+type Bits []uint64
+
+// MakeBits returns a zeroed bitset holding n bits.
+func MakeBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Get reports bit i; out-of-range indices read as false.
+func (b Bits) Get(i int32) bool {
+	w := int(i) >> 6
+	if i < 0 || w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i (which must be in range).
+func (b Bits) Set(i int32) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i (which must be in range).
+func (b Bits) Clear(i int32) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Reset zeroes the whole set.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// GrowBits returns b resized to hold n bits, reusing the backing array
+// when possible; the returned set is zeroed either way.
+func GrowBits(b Bits, n int) Bits {
+	w := (n + 63) / 64
+	if cap(b) < w {
+		return make(Bits, w)
+	}
+	b = b[:w]
+	b.Reset()
+	return b
+}

@@ -239,6 +239,9 @@ type Region struct {
 	// Refs lists every reference of the region in ID order; it is
 	// populated by Finalize.
 	Refs []*Ref
+
+	// dense is the region's dense analysis index, rebuilt by Finalize.
+	dense *RegionIndex
 }
 
 // Annotations carries optional front-end declarations attached to a region.
@@ -391,6 +394,7 @@ func (r *Region) Finalize() {
 		}
 	}
 	sort.Slice(r.Refs, func(i, j int) bool { return r.Refs[i].ID < r.Refs[j].ID })
+	r.buildDenseIndex()
 }
 
 func (r *Region) number(ref *Ref, segID int, id, pos *int, loops []LoopInfo, cond bool) {

@@ -106,7 +106,7 @@ func TestRFWDefinition5Oracle(t *testing.T) {
 		traces := iterationTraces(t, r)
 		n := len(traces)
 		for _, w := range r.Refs {
-			if w.Access != ir.Write || !lab.RFW.IsRFW[w] {
+			if w.Access != ir.Write || !lab.RFW.IsRFW(w) {
 				continue
 			}
 			// Collect the write's dynamic instances: (iteration, loc).
@@ -124,7 +124,7 @@ func TestRFWDefinition5Oracle(t *testing.T) {
 							t.Fatalf("seed %d: %v marked RFW, but restarting at iteration %d reads %v[%d] before rewriting it\n%s",
 								seed, w, restart, e.loc.v.Name, e.loc.idx, p.Format())
 						case "untouched":
-							if lab.Info.LiveOut[e.loc.v] {
+							if lab.Info.LiveOut(e.loc.v) {
 								t.Fatalf("seed %d: %v marked RFW, but restarting at iteration %d never rewrites live-out %v[%d]\n%s",
 									seed, w, restart, e.loc.v.Name, e.loc.idx, p.Format())
 							}

@@ -174,7 +174,7 @@ func TestRFWPathOracle(t *testing.T) {
 		g := cfg.FromRegion(r)
 		lab := idem.LabelRegion(p, r, nil)
 		for _, ref := range r.Refs {
-			if ref.Access != ir.Write || !lab.RFW.IsRFW[ref] {
+			if ref.Access != ir.Write || !lab.RFW.IsRFW(ref) {
 				continue
 			}
 			if !pathOracleRFW(r, g, lab.Info, ref) {
@@ -193,12 +193,12 @@ func pathOracleRFW(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, w *ir.
 	}
 	attr := func(seg int) dataflow.Attr {
 		if seg == cfg.Exit {
-			if info.LiveOut[w.Var] {
+			if info.LiveOut(w.Var) {
 				return dataflow.ReadAttr
 			}
 			return dataflow.NullAttr
 		}
-		return info.Attrs[seg][w.Var]
+		return info.Attrs(seg, w.Var)
 	}
 	for _, u := range g.Nodes {
 		if u == w.SegID || !g.Reaches(u, w.SegID) {
@@ -223,7 +223,7 @@ func pathOracleRFW(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, w *ir.
 					break
 				}
 			}
-			if !decided && info.LiveOut[w.Var] {
+			if !decided && info.LiveOut(w.Var) {
 				bad = true // falls off the exit with x live and unwritten
 			}
 			if bad {

@@ -25,9 +25,16 @@
 //     the write as sink) or in an older iteration (a cross-segment anti
 //     dependence with the write as sink, which would be re-executed
 //     between the rollback point and the re-occurring write).
+//
+// Both run on the dense region index: the RFW set is a bitset over
+// reference IDs, CFG colorings live in one flat segment-by-variable
+// array, and the traversal scratch is pooled, so Analyze allocates only
+// the returned Result.
 package rfw
 
 import (
+	"sync"
+
 	"refidem/internal/cfg"
 	"refidem/internal/dataflow"
 	"refidem/internal/deps"
@@ -53,12 +60,30 @@ func (c Color) String() string {
 
 // Result carries the RFW classification of a region's write references.
 type Result struct {
-	// IsRFW maps every write reference to its RFW status.
-	IsRFW map[*ir.Ref]bool
-	// Colors holds, for CFG regions, the per-variable final node colors
-	// (segment ID → color), matching Figure 3 of the paper. Nil for loop
-	// regions.
-	Colors map[*ir.Var]map[int]Color
+	idx   *ir.RegionIndex
+	isRFW ir.Bits
+	// colors holds, for CFG regions, the per-variable final node colors
+	// (local var × age position), matching Figure 3 of the paper. Nil for
+	// loop regions.
+	colors []Color
+}
+
+// IsRFW reports the RFW status of a write reference.
+func (res *Result) IsRFW(ref *ir.Ref) bool { return res.isRFW.Get(int32(ref.ID)) }
+
+// Color returns the final Algorithm 1 color of the segment for the given
+// variable (CFG regions; White for unknown variables or segments,
+// matching the map zero value of the paper's presentation).
+func (res *Result) Color(v *ir.Var, segID int) Color {
+	if res.colors == nil {
+		return White
+	}
+	local := res.idx.LocalOf(v)
+	seg := res.idx.SegPos(segID)
+	if local < 0 || seg < 0 {
+		return White
+	}
+	return res.colors[int(local)*res.idx.NumSegs+int(seg)]
 }
 
 // Analyze computes the RFW set of the region. The dataflow info and
@@ -70,120 +95,157 @@ func Analyze(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, da *deps.Ana
 	return analyzeLoop(r, da)
 }
 
+// cfgScratch pools the per-variable traversal state of analyzeCFG.
+var cfgPool = sync.Pool{New: func() any { return &cfgScratch{} }}
+
+type cfgScratch struct {
+	seen []bool
+	work []int32
+}
+
 // analyzeCFG is Algorithm 1.
 func analyzeCFG(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo) *Result {
+	idx := r.DenseIndex()
+	nv, ns := len(idx.Vars), idx.NumSegs
 	res := &Result{
-		IsRFW:  make(map[*ir.Ref]bool),
-		Colors: make(map[*ir.Var]map[int]Color),
+		idx:    idx,
+		isRFW:  ir.MakeBits(len(r.Refs)),
+		colors: make([]Color, nv*ns),
 	}
-	for _, v := range r.RegionVars() {
-		colors := colorVariable(r, g, info, v)
-		res.Colors[v] = colors
-		for _, ref := range r.VarRefs(v) {
-			if ref.Access != ir.Write {
-				continue
-			}
-			// The paper's algorithm assumes the compiler can prove the
-			// reference re-executes to the same address; references like
-			// K(E) are excluded ("not guaranteed to access the same
-			// address").
-			res.IsRFW[ref] = colors[ref.SegID] == White && ir.AddrCertain(ref)
+	sc := cfgPool.Get().(*cfgScratch)
+	if cap(sc.seen) < ns+1 {
+		sc.seen = make([]bool, ns+1)
+		sc.work = make([]int32, 0, ns+1)
+	}
+	for local := int32(0); local < int32(nv); local++ {
+		colors := res.colors[int(local)*ns : (int(local)+1)*ns]
+		colorVariable(g, info, local, colors, sc)
+	}
+	for _, ref := range r.Refs {
+		if ref.Access != ir.Write {
+			continue
+		}
+		// The paper's algorithm assumes the compiler can prove the
+		// reference re-executes to the same address; references like
+		// K(E) are excluded ("not guaranteed to access the same
+		// address").
+		local := idx.VarOf[ref.ID]
+		if res.colors[int(local)*ns+int(idx.SegOf[ref.ID])] == White && idx.AddrCertain[ref.ID] {
+			res.isRFW.Set(int32(ref.ID))
 		}
 	}
+	cfgPool.Put(sc)
 	return res
 }
 
 // colorVariable runs the coloring of Algorithm 1 for one variable.
-func colorVariable(r *ir.Region, g *cfg.Graph, info *dataflow.RegionInfo, v *ir.Var) map[int]Color {
-	// Step 1: attributes. v_exit is Read iff v is live out of R.
-	attr := make(map[int]dataflow.Attr, len(r.Segments)+1)
-	for _, seg := range r.Segments {
-		attr[seg.ID] = info.Attrs[seg.ID][v] // zero value NullAttr when absent
-	}
-	if info.LiveOut[v] {
-		attr[cfg.Exit] = dataflow.ReadAttr
-	} else {
-		attr[cfg.Exit] = dataflow.NullAttr
-	}
-
-	colors := make(map[int]Color, len(r.Segments))
-	for _, seg := range r.Segments {
-		colors[seg.ID] = White
-	}
-
-	// Step 2: breadth-first search; blacken successors of any White node
-	// that reaches a Read node through zero or more Null nodes.
+// colors is the variable's row (by segment age position), initially all
+// White (the zero value).
+func colorVariable(g *cfg.Graph, info *dataflow.RegionInfo, local int32, colors []Color, sc *cfgScratch) {
+	// Step 1: attributes come from the dataflow info; v_exit is Read iff
+	// the variable is live out of R. Step 2: breadth-first search;
+	// blacken successors of any White node that reaches a Read node
+	// through zero or more Null nodes.
 	g.BFS(func(n int) {
-		if colors[n] != White {
+		pos := g.Age(n)
+		if colors[pos] != White {
 			return
 		}
-		if reachesReadThroughNulls(g, attr, n) {
+		if reachesReadThroughNulls(g, info, local, n, sc) {
 			blackenDescendants(g, colors, n)
 		}
 	})
-	return colors
+}
+
+// attrAt returns the Algorithm 1 attribute of the node for the variable,
+// with the synthetic exit node Read iff the variable is live out.
+func attrAt(g *cfg.Graph, info *dataflow.RegionInfo, local int32, n int) dataflow.Attr {
+	if n == cfg.Exit {
+		if info.LiveOutAt(local) {
+			return dataflow.ReadAttr
+		}
+		return dataflow.NullAttr
+	}
+	return info.AttrAt(int32(g.Age(n)), local)
 }
 
 // reachesReadThroughNulls reports whether some path starting at the
 // successors of n reaches a Read-attributed node traversing only
 // Null-attributed nodes. Write-attributed nodes block the search: on any
 // path through them the variable is rewritten before it can be read.
-func reachesReadThroughNulls(g *cfg.Graph, attr map[int]dataflow.Attr, n int) bool {
-	seen := make(map[int]bool)
-	work := append([]int(nil), g.Succs(n)...)
-	for len(work) > 0 {
-		m := work[0]
-		work = work[1:]
-		if seen[m] {
+func reachesReadThroughNulls(g *cfg.Graph, info *dataflow.RegionInfo, local int32, n int, sc *cfgScratch) bool {
+	ns := len(g.Nodes)
+	seen := sc.seen[:ns+1]
+	for i := range seen {
+		seen[i] = false
+	}
+	work := sc.work[:0]
+	for _, s := range g.Succs(n) {
+		work = append(work, int32(g.Age(s)))
+	}
+	for head := 0; head < len(work); head++ {
+		mp := work[head]
+		if seen[mp] {
 			continue
 		}
-		seen[m] = true
-		switch attr[m] {
+		seen[mp] = true
+		m := cfg.Exit
+		if int(mp) < ns {
+			m = g.Nodes[mp]
+		}
+		switch attrAt(g, info, local, m) {
 		case dataflow.ReadAttr:
+			sc.work = work[:0]
 			return true
 		case dataflow.WriteAttr:
 			// Blocked: the node must-defines the variable before any
 			// internal read.
 		default:
 			if m != cfg.Exit {
-				work = append(work, g.Succs(m)...)
+				for _, s := range g.Succs(m) {
+					work = append(work, int32(g.Age(s)))
+				}
 			}
 		}
 	}
+	sc.work = work[:0]
 	return false
 }
 
 // blackenDescendants recursively colors all White successors of n Black.
-func blackenDescendants(g *cfg.Graph, colors map[int]Color, n int) {
+func blackenDescendants(g *cfg.Graph, colors []Color, n int) {
 	for _, s := range g.Succs(n) {
-		if s == cfg.Exit || colors[s] == Black {
+		if s == cfg.Exit || colors[g.Age(s)] == Black {
 			continue
 		}
-		colors[s] = Black
+		colors[g.Age(s)] = Black
 		blackenDescendants(g, colors, s)
 	}
 }
 
 // analyzeLoop is the location-wise RFW test for loop regions.
 func analyzeLoop(r *ir.Region, da *deps.Analysis) *Result {
-	res := &Result{IsRFW: make(map[*ir.Ref]bool)}
+	idx := r.DenseIndex()
+	res := &Result{idx: idx, isRFW: ir.MakeBits(len(r.Refs))}
 	earlyExit := r.HasEarlyExit()
 	for _, ref := range r.Refs {
 		if ref.Access != ir.Write {
 			continue
 		}
-		res.IsRFW[ref] = isLoopRFW(ref, da, earlyExit)
+		if isLoopRFW(ref, da, earlyExit, idx) {
+			res.isRFW.Set(int32(ref.ID))
+		}
 	}
 	return res
 }
 
-func isLoopRFW(w *ir.Ref, da *deps.Analysis, earlyExit bool) bool {
+func isLoopRFW(w *ir.Ref, da *deps.Analysis, earlyExit bool, idx *ir.RegionIndex) bool {
 	if earlyExit {
 		// A data-dependent trip count makes re-execution of any given
 		// iteration impossible to guarantee.
 		return false
 	}
-	if !ir.AddrCertain(w) {
+	if !idx.AddrCertain[w.ID] {
 		return false
 	}
 	if w.Ctx.Conditional {
@@ -202,7 +264,7 @@ func isLoopRFW(w *ir.Ref, da *deps.Analysis, earlyExit bool) bool {
 		// is itself covered by a must-write to the same location earlier
 		// in its own segment execution, in which case every path still
 		// rewrites the location before any read (Definition 5 holds).
-		if !isCoveredRead(d.Src, da.Region) {
+		if !isCoveredRead(d.Src, da.Region, idx) {
 			return false
 		}
 	}
@@ -220,23 +282,24 @@ func isLoopRFW(w *ir.Ref, da *deps.Analysis, earlyExit bool) bool {
 // forms equal r's after positionally mapping w's non-common loop indices
 // onto r's. Under those conditions, for every address r reads, w wrote the
 // same address earlier in the segment.
-func isCoveredRead(r *ir.Ref, region *ir.Region) bool {
-	if r.Access != ir.Read || !ir.AddrCertain(r) {
+func isCoveredRead(r *ir.Ref, region *ir.Region, idx *ir.RegionIndex) bool {
+	if r.Access != ir.Read || !idx.AddrCertain[r.ID] {
 		return false
 	}
-	for _, w := range region.VarRefs(r.Var) {
+	for _, wid := range idx.RefsOf(idx.VarOf[r.ID]) {
+		w := region.Refs[wid]
 		if w.Access != ir.Write || w.SegID != r.SegID {
 			continue
 		}
-		if coversRead(w, r) {
+		if coversRead(w, r, idx) {
 			return true
 		}
 	}
 	return false
 }
 
-func coversRead(w, r *ir.Ref) bool {
-	if w.Ctx.Conditional || !ir.AddrCertain(w) || w.Pos >= r.Pos {
+func coversRead(w, r *ir.Ref, idx *ir.RegionIndex) bool {
+	if w.Ctx.Conditional || !idx.AddrCertain[w.ID] || w.Pos >= r.Pos {
 		return false
 	}
 	// Common loop prefix; the remaining chains must mirror each other.
@@ -249,11 +312,40 @@ func coversRead(w, r *ir.Ref) bool {
 	if len(wRest) != len(rRest) {
 		return false
 	}
-	rename := make(map[string]string, len(wRest))
 	for i := range wRest {
 		if wRest[i].From != rRest[i].From || wRest[i].To != rRest[i].To || wRest[i].Step != rRest[i].Step {
 			return false
 		}
+	}
+	if idx.SlowAff[w.ID] || idx.SlowAff[r.ID] {
+		return coversReadSlow(w, r)
+	}
+	// Positional affine equality: the common prefix shares loop IDs and
+	// the mirrored chains map depth-to-depth, so the dense forms must
+	// match coefficient by coefficient.
+	wAff := idx.Aff[w.ID]
+	rAff := idx.Aff[r.ID]
+	for dim := range wAff {
+		if wAff[dim].Const != rAff[dim].Const ||
+			wAff[dim].Reg != rAff[dim].Reg ||
+			wAff[dim].Depth != rAff[dim].Depth {
+			return false
+		}
+	}
+	return true
+}
+
+// coversReadSlow is the map-based affine comparison used when a reference
+// has no dense affine form.
+func coversReadSlow(w, r *ir.Ref) bool {
+	n := 0
+	for n < len(w.Ctx.Loops) && n < len(r.Ctx.Loops) && w.Ctx.Loops[n].ID == r.Ctx.Loops[n].ID {
+		n++
+	}
+	rename := make(map[string]string, len(w.Ctx.Loops)-n)
+	wRest := w.Ctx.Loops[n:]
+	rRest := r.Ctx.Loops[n:]
+	for i := range wRest {
 		rename[wRest[i].Index] = rRest[i].Index
 	}
 	wAff := ir.RefAffine(w)

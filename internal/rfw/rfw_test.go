@@ -25,7 +25,7 @@ func analyzeFirstRegion(p *ir.Program) (*ir.Region, *Result) {
 func rfwVars(r *ir.Region, res *Result) map[int]map[string]bool {
 	out := make(map[int]map[string]bool)
 	for _, ref := range r.Refs {
-		if ref.Access != ir.Write || !res.IsRFW[ref] {
+		if ref.Access != ir.Write || !res.IsRFW(ref) {
 			continue
 		}
 		if out[ref.SegID] == nil {
@@ -57,8 +57,8 @@ func TestFigure3RFW(t *testing.T) {
 		case "z":
 			want = ref.SegID != 6
 		}
-		if res.IsRFW[ref] != want {
-			t.Errorf("RFW(%s in segment %d) = %v, want %v", ref.Var.Name, ref.SegID, res.IsRFW[ref], want)
+		if res.IsRFW(ref) != want {
+			t.Errorf("RFW(%s in segment %d) = %v, want %v", ref.Var.Name, ref.SegID, res.IsRFW(ref), want)
 		}
 	}
 }
@@ -72,7 +72,7 @@ func TestFigure3Colors(t *testing.T) {
 
 	wantX := map[int]Color{1: White, 2: White, 3: White, 4: Black, 5: White, 6: Black, 7: Black}
 	for seg, want := range wantX {
-		if got := res.Colors[x][seg]; got != want {
+		if got := res.Color(x, seg); got != want {
 			t.Errorf("color(x, seg %d) = %v, want %v", seg, got, want)
 		}
 	}
@@ -83,7 +83,7 @@ func TestFigure3Colors(t *testing.T) {
 		if seg.ID == 7 {
 			want = Black
 		}
-		if got := res.Colors[y][seg.ID]; got != want {
+		if got := res.Color(y, seg.ID); got != want {
 			t.Errorf("color(y, seg %d) = %v, want %v", seg.ID, got, want)
 		}
 	}
@@ -94,7 +94,7 @@ func TestFigure3Colors(t *testing.T) {
 		if seg.ID == 1 {
 			want = White
 		}
-		if got := res.Colors[z][seg.ID]; got != want {
+		if got := res.Color(z, seg.ID); got != want {
 			t.Errorf("color(z, seg %d) = %v, want %v", seg.ID, got, want)
 		}
 	}
@@ -154,15 +154,15 @@ func TestFigure2NonRFWReasons(t *testing.T) {
 		}
 		switch ref.Var.Name {
 		case "B":
-			if res.IsRFW[ref] {
+			if res.IsRFW(ref) {
 				t.Errorf("B write in R%d must not be RFW", ref.SegID)
 			}
 		case "K":
-			if res.IsRFW[ref] {
+			if res.IsRFW(ref) {
 				t.Errorf("K(E) write in R%d must not be RFW (uncertain address)", ref.SegID)
 			}
 		case "H":
-			if res.IsRFW[ref] {
+			if res.IsRFW(ref) {
 				t.Error("H write in R4 must not be RFW (preceded by a read)")
 			}
 		}
@@ -213,8 +213,8 @@ func TestLoopRFWBasics(t *testing.T) {
 		default:
 			want = false
 		}
-		if res.IsRFW[ref] != want {
-			t.Errorf("RFW(%v) = %v, want %v", ref, res.IsRFW[ref], want)
+		if res.IsRFW(ref) != want {
+			t.Errorf("RFW(%v) = %v, want %v", ref, res.IsRFW(ref), want)
 		}
 	}
 }
@@ -235,7 +235,7 @@ func TestLoopRFWCrossAntiSink(t *testing.T) {
 	p.AddRegion(r)
 	_, res := analyzeFirstRegion(p)
 	for _, ref := range p.Regions[0].Refs {
-		if ref.Access == ir.Write && res.IsRFW[ref] {
+		if ref.Access == ir.Write && res.IsRFW(ref) {
 			t.Errorf("anti-sink write %v must not be RFW", ref)
 		}
 	}
@@ -254,7 +254,7 @@ func TestLoopRFWEarlyExit(t *testing.T) {
 	p.AddRegion(r)
 	_, res := analyzeFirstRegion(p)
 	for _, ref := range p.Regions[0].Refs {
-		if ref.Access == ir.Write && res.IsRFW[ref] {
+		if ref.Access == ir.Write && res.IsRFW(ref) {
 			t.Errorf("write %v in early-exit region must not be RFW", ref)
 		}
 	}
@@ -276,12 +276,12 @@ func TestButsRFW(t *testing.T) {
 		case v:
 			// S2's write reads the same cell first (intra anti) and is a
 			// cross anti sink: not RFW.
-			if res.IsRFW[ref] {
+			if res.IsRFW(ref) {
 				t.Errorf("S2 write %v must not be RFW", ref)
 			}
 		case tv:
 			// t[m] is written before it is read in every iteration.
-			if !res.IsRFW[ref] {
+			if !res.IsRFW(ref) {
 				t.Errorf("t write %v should be RFW", ref)
 			}
 		}

@@ -74,11 +74,11 @@ func DependenceGraphDOT(res *idem.Result) string {
 	for _, ref := range refs {
 		id, label := refNode(ref)
 		color := "salmon"
-		if res.Labels[ref] == idem.Idempotent {
+		if res.Label(ref) == idem.Idempotent {
 			color = "palegreen"
 		}
 		fmt.Fprintf(&b, "  %s [label=%q, fillcolor=%q, tooltip=%q];\n",
-			id, label, color, res.Categories[ref].String())
+			id, label, color, res.Category(ref).String())
 	}
 	for _, d := range res.Deps.All {
 		src, _ := refNode(d.Src)

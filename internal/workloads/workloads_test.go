@@ -282,9 +282,9 @@ func TestButsDescendingDelta(t *testing.T) {
 	if planeRead == nil {
 		t.Fatal("plane k+1 read not found")
 	}
-	if res.Labels[planeRead] != idem.Speculative {
+	if res.Label(planeRead) != idem.Speculative {
 		t.Errorf("descending BUTS: plane k+1 read should be speculative (cross flow sink), got %v",
-			res.Labels[planeRead])
+			res.Label(planeRead))
 	}
 	// On the ascending variant the same read is idempotent.
 	p2 := ButsDO1(6)
@@ -296,8 +296,8 @@ func TestButsDescendingDelta(t *testing.T) {
 			continue
 		}
 		if a, ok := ir.AffineOf(ref.Subs[3]); ok && a.Const == 1 && a.Coefficient("k") == 1 {
-			if res2.Labels[ref] != idem.Idempotent {
-				t.Errorf("ascending BUTS: plane k+1 read should be idempotent, got %v", res2.Labels[ref])
+			if res2.Label(ref) != idem.Idempotent {
+				t.Errorf("ascending BUTS: plane k+1 read should be idempotent, got %v", res2.Label(ref))
 			}
 		}
 	}

@@ -63,12 +63,12 @@ func TestLabelFacade(t *testing.T) {
 		t.Fatalf("got %d labelings", len(labs))
 	}
 	lab := LabelRegion(p, p.Regions[0])
-	if lab == nil || len(lab.Labels) == 0 {
+	if lab == nil || len(lab.Region.Refs) == 0 {
 		t.Fatal("empty labeling")
 	}
 	counts := map[Label]int{}
-	for _, l := range lab.Labels {
-		counts[l]++
+	for _, ref := range lab.Region.Refs {
+		counts[lab.Label(ref)]++
 	}
 	if counts[Idempotent] == 0 || counts[Speculative] == 0 {
 		t.Errorf("figure 2 should mix labels: %v", counts)

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # bench_gate.sh — the benchmark-regression CI gate.
 #
-# Runs the engine benchmarks and compares them (via `benchjson -gate`)
-# against the checked-in BENCH_results.json baseline: the gate fails if
-# any BenchmarkEngine* ns/op regresses by more than 25% or its allocs/op
-# grows at all. Allocation counts are machine-independent, so the allocs
-# half of the gate is exact; the ns/op threshold absorbs runner noise.
+# Runs the engine and analysis benchmarks and compares them (via
+# `benchjson -gate`) against the checked-in BENCH_results.json baseline:
+# the gate fails if any gated benchmark's ns/op regresses by more than
+# 25% or its allocs/op grows at all. Gated: BenchmarkEngine* (the
+# simulator hot path), BenchmarkAnalysisPipeline (the labeling pipeline)
+# and BenchmarkSequentialBaseline (the uniprocessor reference run).
+# Allocation counts are machine-independent, so the allocs half of the
+# gate is exact; the ns/op threshold absorbs runner noise.
 #
 # Usage:
 #   scripts/bench_gate.sh                  # gate against BENCH_results.json
@@ -14,12 +17,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngine}"
+BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline}"
 BENCHTIME="${BENCHTIME:-1s}"
 BASELINE="${BASELINE:-BENCH_results.json}"
 MAX_REGRESS="${MAX_REGRESS:-0.25}"
+PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . |
   tee /dev/stderr |
-  /tmp/benchjson -gate "$BASELINE" -gate-prefix BenchmarkEngine -gate-max-regress "$MAX_REGRESS"
+  /tmp/benchjson -gate "$BASELINE" -gate-prefix "$PREFIXES" -gate-max-regress "$MAX_REGRESS"
