@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"refidem/internal/engine"
@@ -25,91 +26,92 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit every experiment as one JSON document")
 	flag.Parse()
 
-	cfg := engine.DefaultConfig()
-	if *jsonOut {
-		if err := experiments.WriteJSON(os.Stdout, cfg, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	var err error
-	switch *fig {
-	case "5":
-		err = fig5(cfg, *workers)
-	case "6", "7", "8", "9":
-		err = figLoops(int((*fig)[0]-'0'), cfg, *workers)
-	case "ablation":
-		err = ablations(cfg, *workers)
-	case "all":
-		for _, f := range []func() error{
-			func() error { return fig5(cfg, *workers) },
-			func() error { return figLoops(6, cfg, *workers) },
-			func() error { return figLoops(7, cfg, *workers) },
-			func() error { return figLoops(8, cfg, *workers) },
-			func() error { return figLoops(9, cfg, *workers) },
-			func() error { return ablations(cfg, *workers) },
-		} {
-			if err = f(); err != nil {
-				break
-			}
-		}
-	default:
-		err = fmt.Errorf("unknown figure %q", *fig)
-	}
-	if err != nil {
+	if err := run(os.Stdout, *fig, *workers, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func fig5(cfg engine.Config, workers int) error {
+// run is the whole tool behind flag parsing and exit codes; the CLI tests
+// drive it directly.
+func run(w io.Writer, fig string, workers int, jsonOut bool) error {
+	cfg := engine.DefaultConfig()
+	if jsonOut {
+		return experiments.WriteJSON(w, cfg, workers)
+	}
+	switch fig {
+	case "5":
+		return fig5(w, cfg, workers)
+	case "6", "7", "8", "9":
+		return figLoops(w, int(fig[0]-'0'), cfg, workers)
+	case "ablation":
+		return ablations(w, cfg, workers)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return fig5(w, cfg, workers) },
+			func() error { return figLoops(w, 6, cfg, workers) },
+			func() error { return figLoops(w, 7, cfg, workers) },
+			func() error { return figLoops(w, 8, cfg, workers) },
+			func() error { return figLoops(w, 9, cfg, workers) },
+			func() error { return ablations(w, cfg, workers) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}
+
+func fig5(w io.Writer, cfg engine.Config, workers int) error {
 	rows, err := experiments.Figure5(cfg, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderFigure5(rows))
+	fmt.Fprintln(w, experiments.RenderFigure5(rows))
 	return nil
 }
 
-func figLoops(fig int, cfg engine.Config, workers int) error {
+func figLoops(w io.Writer, fig int, cfg engine.Config, workers int) error {
 	results, err := experiments.FigureLoops(fig, cfg, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderFigureLoops(fig, results))
-	fmt.Println()
+	fmt.Fprintln(w, experiments.RenderFigureLoops(fig, results))
+	fmt.Fprintln(w)
 	return nil
 }
 
-func ablations(cfg engine.Config, workers int) error {
+func ablations(w io.Writer, cfg engine.Config, workers int) error {
 	tom, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
 	caps := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 	pts, err := experiments.AblationCapacity(tom, caps, cfg, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderCapacity(tom.String(), pts))
-	fmt.Println()
+	fmt.Fprintln(w, experiments.RenderCapacity(tom.String(), pts))
+	fmt.Fprintln(w)
 
 	rows, err := experiments.AblationCategories(tom, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderCategories(tom.String(), rows))
-	fmt.Println()
+	fmt.Fprintln(w, experiments.RenderCategories(tom.String(), rows))
+	fmt.Fprintln(w)
 
 	resid, _ := workloads.FindLoop("MGRID", "RESID_DO600")
 	pp, err := experiments.AblationProcessors(resid, []int{1, 2, 4, 8, 16}, cfg, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderProcessors(resid.String(), pp))
-	fmt.Println()
+	fmt.Fprintln(w, experiments.RenderProcessors(resid.String(), pp))
+	fmt.Fprintln(w)
 
-	fmt.Println(experiments.RenderDirections(
+	fmt.Fprintln(w, experiments.RenderDirections(
 		experiments.AblationDepDirection(experiments.DefaultDirectionPrograms())))
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	gp, err := experiments.AblationGranularity(
 		experiments.NamedProgram{Name: resid.String(), Make: func() *ir.Program { return resid.Program() }},
@@ -117,13 +119,13 @@ func ablations(cfg engine.Config, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderGranularity(resid.String(), gp))
-	fmt.Println()
+	fmt.Fprintln(w, experiments.RenderGranularity(resid.String(), gp))
+	fmt.Fprintln(w)
 
 	ap, err := experiments.AblationAssociativity(tom, cfg, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Println(experiments.RenderAssociativity(tom.String(), ap))
+	fmt.Fprintln(w, experiments.RenderAssociativity(tom.String(), ap))
 	return nil
 }

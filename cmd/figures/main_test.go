@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./cmd/figures -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFiguresGolden locks the rendered output of every figure selector,
+// so experiment or renderer changes cannot silently alter the tool.
+func TestFiguresGolden(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		fig    string
+	}{
+		{"fig5.golden", "5"},
+		{"fig6.golden", "6"},
+		{"fig9.golden", "9"},
+		{"ablation.golden", "ablation"},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, tc.fig, 0, false); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, buf.Bytes())
+		})
+	}
+}
+
+// TestJSONMatchesCheckedInGolden asserts -json reproduces the repo's
+// golden figures document byte for byte — the same gate CI enforces.
+func TestJSONMatchesCheckedInGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "scripts", "golden_figures.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("-json output differs from scripts/golden_figures.json")
+	}
+}
+
+// TestRunStable asserts repeated runs render identically (worker-count
+// independence included: 1 worker vs all cores).
+func TestRunStable(t *testing.T) {
+	var first bytes.Buffer
+	if err := run(&first, "5", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 0} {
+		var again bytes.Buffer
+		if err := run(&again, "5", workers, false); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("output differs with workers=%d", workers)
+		}
+	}
+}
+
+// TestRunErrors covers the error exit paths.
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "12", 0, false); err == nil {
+		t.Error("expected error for unknown figure")
+	}
+	if err := run(&buf, "nope", 0, false); err == nil {
+		t.Error("expected error for unknown selector")
+	}
+}

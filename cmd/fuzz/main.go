@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 	breakLab := flag.Bool("break-labeling", false,
 		"deliberately corrupt the labeling (force one speculative write idempotent): the wall must catch it")
 	shrinkLimit := flag.Int("shrink-limit", 20, "max failures to shrink (in index order)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit); a timed-out sweep exits 2")
 	list := flag.Bool("list-profiles", false, "list scenario profiles and exit")
 	flag.Parse()
 
@@ -47,7 +49,13 @@ func main() {
 		return
 	}
 
-	sum, err := fuzz.Run(fuzz.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sum, err := fuzz.RunCtx(ctx, fuzz.Options{
 		Seed:          *seed,
 		N:             *n,
 		Shards:        *shards,

@@ -1,0 +1,309 @@
+// Command loadbench drives the analysis service under load — in-process
+// (library calls straight into internal/service) or over HTTP (loopback
+// POSTs against a self-hosted or external refidemd) — and reports
+// throughput and latency in `go test -bench` row format, so the output
+// pipes into cmd/benchjson and merges into BENCH_results.json.
+//
+// Usage:
+//
+//	loadbench                              # in-process, label + simulate phases
+//	loadbench -mode http                   # self-hosts a daemon on a loopback port
+//	loadbench -mode http -url http://H:P   # drives an external refidemd
+//	loadbench -merge BENCH_results.json    # also merge rows into the results file
+//
+// Output rows (one per phase):
+//
+//	BenchmarkLoadLabel/mode=inproc/coalesce=true  2000  52431 ns/op  19073 req/s  ...
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"refidem/internal/benchfmt"
+	"refidem/internal/gen"
+	"refidem/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	mode        string
+	url         string
+	n           int
+	nSimulate   int
+	concurrency int
+	programs    int
+	seed        int64
+	coalesce    bool
+	shards      int
+	workers     int
+	merge       string
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadbench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var o options
+	fs.StringVar(&o.mode, "mode", "inproc", "driver mode: inproc or http")
+	fs.StringVar(&o.url, "url", "", "target base URL for -mode http (empty self-hosts a daemon)")
+	fs.IntVar(&o.n, "n", 2000, "label requests to issue")
+	fs.IntVar(&o.nSimulate, "n-simulate", 0, "simulate requests to issue (0 = n/4)")
+	fs.IntVar(&o.concurrency, "concurrency", 32, "concurrent client goroutines")
+	fs.IntVar(&o.programs, "programs", 16, "distinct generated programs in the request rotation")
+	fs.Int64Var(&o.seed, "seed", 1, "program generation seed")
+	fs.BoolVar(&o.coalesce, "coalesce", true, "coalesce identical in-flight requests (in-process and self-hosted)")
+	fs.IntVar(&o.shards, "shards", 8, "cache shards (in-process and self-hosted)")
+	fs.IntVar(&o.workers, "workers", 0, "service workers (0 = all cores)")
+	fs.StringVar(&o.merge, "merge", "", "merge result rows into this BENCH_results.json file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.nSimulate == 0 {
+		o.nSimulate = o.n / 4
+	}
+
+	srcs := make([]string, o.programs)
+	profiles := gen.Profiles()
+	for i := range srcs {
+		srcs[i] = gen.FromProfile(profiles[i%len(profiles)], o.seed+int64(i)).Program.Format()
+	}
+
+	var do func(op string, i int) error
+	var target string
+	switch o.mode {
+	case "inproc":
+		cfg := service.DefaultConfig()
+		cfg.Coalesce = o.coalesce
+		cfg.Shards = o.shards
+		cfg.Workers = o.workers
+		cfg.QueueDepth = 1 << 16
+		s := service.New(cfg)
+		defer s.Close()
+		ctx := context.Background()
+		do = func(op string, i int) error {
+			_, err := s.Do(ctx, service.Request{Op: op, Program: srcs[i%len(srcs)]})
+			return err
+		}
+		target = "inproc"
+	case "http":
+		base := o.url
+		if base == "" {
+			cfg := service.DefaultConfig()
+			cfg.Coalesce = o.coalesce
+			cfg.Shards = o.shards
+			cfg.Workers = o.workers
+			cfg.QueueDepth = 1 << 16
+			s := service.New(cfg)
+			defer s.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			httpSrv := &http.Server{Handler: s.Handler()}
+			go httpSrv.Serve(ln)
+			defer httpSrv.Close()
+			base = "http://" + ln.Addr().String()
+			fmt.Fprintf(os.Stderr, "loadbench: self-hosted daemon at %s\n", base)
+		}
+		client := &http.Client{Timeout: 60 * time.Second}
+		do = func(op string, i int) error {
+			body, err := json.Marshal(service.Request{Program: srcs[i%len(srcs)]})
+			if err != nil {
+				return err
+			}
+			resp, err := client.Post(base+"/v1/"+op, "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return nil
+			case http.StatusServiceUnavailable:
+				return service.ErrOverloaded
+			default:
+				return fmt.Errorf("%s: status %d", op, resp.StatusCode)
+			}
+		}
+		target = "http"
+	default:
+		return fmt.Errorf("unknown -mode %q (want inproc or http)", o.mode)
+	}
+
+	label := fmt.Sprintf("mode=%s/coalesce=%v", target, o.coalesce)
+	rows := []row{}
+	for _, phase := range []struct {
+		name string
+		op   string
+		n    int
+	}{
+		{"BenchmarkLoadLabel/" + label, service.OpLabel, o.n},
+		{"BenchmarkLoadSimulate/" + label, service.OpSimulate, o.nSimulate},
+	} {
+		if phase.n <= 0 {
+			continue
+		}
+		r, err := drive(phase.name, phase.op, phase.n, o.concurrency, do)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.benchLine())
+		rows = append(rows, r)
+	}
+	if o.merge != "" {
+		if err := mergeRows(o.merge, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadbench: merged %d rows into %s\n", len(rows), o.merge)
+	}
+	return nil
+}
+
+// row is one measured phase.
+type row struct {
+	name    string
+	n       int
+	elapsed time.Duration
+	lats    []int64 // per-request ns, sorted
+	retries int64
+}
+
+// maxOverloadRetries bounds consecutive overload retries per request:
+// transient backpressure is expected under saturation and retried, but a
+// target answering 503 forever (shut down, or a proxy in front of a dead
+// daemon) must fail the run instead of spinning indefinitely.
+const maxOverloadRetries = 20000 // * 200µs sleep ≈ 4s of solid 503s
+
+// drive issues n requests of one op across the concurrent clients,
+// retrying (and counting) overload rejections — backpressure is expected
+// behaviour under saturation, not failure.
+func drive(name, op string, n, concurrency int, do func(op string, i int) error) (row, error) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var (
+		next    atomic.Int64
+		retries atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstE  error
+	)
+	lats := make([]int64, n)
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				attempts := 0
+				for {
+					err := do(op, i)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, service.ErrOverloaded) {
+						if attempts++; attempts <= maxOverloadRetries {
+							retries.Add(1)
+							time.Sleep(200 * time.Microsecond)
+							continue
+						}
+						err = fmt.Errorf("still overloaded after %d retries: %w", attempts-1, err)
+					}
+					mu.Lock()
+					if firstE == nil {
+						firstE = fmt.Errorf("request %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				lats[i] = time.Since(t0).Nanoseconds()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return row{}, firstE
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return row{name: name, n: n, elapsed: time.Since(start), lats: lats, retries: retries.Load()}, nil
+}
+
+func (r row) pct(p float64) int64 {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.lats)-1))
+	return r.lats[i]
+}
+
+// benchLine renders the row in `go test -bench` format (parsable by
+// cmd/benchjson: iterations, then value/unit pairs).
+func (r row) benchLine() string {
+	nsPerOp := float64(r.elapsed.Nanoseconds()) / float64(r.n)
+	reqPerSec := float64(r.n) / r.elapsed.Seconds()
+	return fmt.Sprintf("%s \t%8d\t%12.0f ns/op\t%12.0f req/s\t%10d p50-ns\t%10d p95-ns\t%10d p99-ns\t%10d max-ns\t%6d overload-retries",
+		r.name, r.n, nsPerOp, reqPerSec,
+		r.pct(0.50), r.pct(0.95), r.pct(0.99), r.lats[len(r.lats)-1], r.retries)
+}
+
+// mergeRows inserts the measured rows into the results file's
+// "benchmarks" map (the shared internal/benchfmt document), creating the
+// file if needed and leaving every other key untouched.
+func mergeRows(path string, rows []row) error {
+	doc := benchfmt.Document{Benchmarks: map[string]benchfmt.Result{}}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("bad results file %s: %w", path, err)
+		}
+		if doc.Benchmarks == nil {
+			doc.Benchmarks = map[string]benchfmt.Result{}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	for _, r := range rows {
+		name := strings.TrimSpace(r.name)
+		doc.Benchmarks[name] = benchfmt.Result{
+			Iterations: int64(r.n),
+			NsPerOp:    float64(r.elapsed.Nanoseconds()) / float64(r.n),
+			Metrics: map[string]float64{
+				"req/s":            float64(r.n) / r.elapsed.Seconds(),
+				"p50-ns":           float64(r.pct(0.50)),
+				"p95-ns":           float64(r.pct(0.95)),
+				"p99-ns":           float64(r.pct(0.99)),
+				"max-ns":           float64(r.lats[len(r.lats)-1]),
+				"overload-retries": float64(r.retries),
+			},
+		}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"refidem/internal/benchfmt"
+)
+
+// TestInprocRun drives a small in-process load and checks the row format
+// benchjson parses.
+func TestInprocRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "40", "-n-simulate", "8", "-concurrency", "4", "-programs", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRe := regexp.MustCompile(`^Benchmark\S+ \t\s*\d+\t\s*\d+ ns/op\t\s*\d+ req/s\t.*p99-ns`)
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows (label, simulate), got %d:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !rowRe.MatchString(l) {
+			t.Errorf("row not in bench format: %q", l)
+		}
+	}
+	if !strings.Contains(lines[0], "BenchmarkLoadLabel/mode=inproc/coalesce=true") {
+		t.Errorf("unexpected label row name: %q", lines[0])
+	}
+}
+
+// TestHTTPSelfHosted drives the self-hosted daemon path end to end.
+func TestHTTPSelfHosted(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mode", "http", "-n", "20", "-n-simulate", "4",
+		"-concurrency", "4", "-programs", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkLoadLabel/mode=http/coalesce=true") {
+		t.Errorf("missing http label row:\n%s", out.String())
+	}
+}
+
+// TestMergeRows verifies rows land in the results document beside
+// existing benchmarks without disturbing them.
+func TestMergeRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_results.json")
+	seed := `{"go": "go1.23", "benchmarks": {"BenchmarkEngineHOSE": {"iterations": 5, "ns_per_op": 123}}}`
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-n", "10", "-n-simulate", "2", "-concurrency", "2",
+		"-programs", "2", "-merge", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchfmt.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Go != "go1.23" {
+		t.Errorf("go field clobbered: %q", doc.Go)
+	}
+	if _, ok := doc.Benchmarks["BenchmarkEngineHOSE"]; !ok {
+		t.Error("pre-existing benchmark dropped by merge")
+	}
+	lbl, ok := doc.Benchmarks["BenchmarkLoadLabel/mode=inproc/coalesce=true"]
+	if !ok {
+		t.Fatalf("label row missing; have %v", keys(doc.Benchmarks))
+	}
+	if lbl.Iterations != 10 || lbl.NsPerOp <= 0 || lbl.Metrics["req/s"] <= 0 {
+		t.Errorf("bad merged row: %+v", lbl)
+	}
+}
+
+func TestBadMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "carrier-pigeon"}, &out); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+}
+
+func keys(m map[string]benchfmt.Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

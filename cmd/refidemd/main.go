@@ -1,0 +1,115 @@
+// Command refidemd serves the reference idempotency analysis over HTTP:
+// a long-running daemon wrapping internal/service, so the labeling
+// pipeline and the simulator's compiled-region caches are shared across
+// requests instead of being rebuilt per CLI invocation.
+//
+// Endpoints (JSON request/response documents; see internal/service):
+//
+//	POST /v1/label     {"program": "..."} or {"example": "fig2"}
+//	POST /v1/simulate  ... plus optional "procs", "capacity"
+//	POST /v1/batch     {"requests": [...]} (up to 256 items)
+//	GET  /healthz      liveness
+//	GET  /metricz      counters, cache stats, latency histogram
+//
+// Usage:
+//
+//	refidemd -addr 127.0.0.1:8347
+//	refidemd -addr 127.0.0.1:0 -shards 16 -workers 8   # ephemeral port
+//
+// The daemon prints "listening on http://HOST:PORT" once ready (scripted
+// callers parse it to discover an ephemeral port), shuts down gracefully
+// on SIGINT/SIGTERM — in-flight and queued requests drain before exit —
+// and rejects work beyond the admission queue with 503 + Retry-After.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"refidem/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "refidemd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon behind exit codes; tests drive it directly
+// with a pre-cancelled or signal-wired context via runUntil.
+func run(args []string, stdout, stderr io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runUntil(ctx, args, stdout, stderr)
+}
+
+// runUntil serves until ctx is cancelled, then drains and returns.
+func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("refidemd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8347", "listen address (port 0 picks an ephemeral port)")
+		shards    = fs.Int("shards", 8, "program cache shard count")
+		cacheCap  = fs.Int("cache", 64, "labeled programs per cache shard")
+		respCache = fs.Int("resp-cache", 0, "response byte cache entries per shard (0 = 4x -cache, negative disables)")
+		workers   = fs.Int("workers", 0, "compute worker pool size (0 = all cores)")
+		queue     = fs.Int("queue", 1024, "admission queue depth (full queue answers 503)")
+		batch     = fs.Int("batch", 64, "max tasks per dispatch batch")
+		coalesce  = fs.Bool("coalesce", true, "deduplicate identical in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.CacheCapacity = *cacheCap
+	cfg.ResponseCache = *respCache
+	cfg.Workers = *workers
+	cfg.QueueDepth = *queue
+	cfg.MaxBatch = *batch
+	cfg.Coalesce = *coalesce
+	srv := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "refidemd: shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight HTTP requests,
+	// then drain the service queue (requests already admitted complete).
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "refidemd: forced shutdown:", err)
+	}
+	srv.Close()
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stderr, "refidemd: drained, bye")
+	return nil
+}

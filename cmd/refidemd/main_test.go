@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"refidem/internal/service"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./cmd/refidemd -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func newTestServer(t *testing.T) (*service.Server, *httptest.Server) {
+	t.Helper()
+	srv := service.New(service.DefaultConfig())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestEndpointsGolden locks the response documents of every JSON
+// endpoint — the same byte-determinism guarantee the smoke job checks
+// against a live daemon.
+func TestEndpointsGolden(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		golden string
+		path   string
+		body   string
+	}{
+		{"label_fig2.golden", "/v1/label", `{"example": "fig2", "deps": true}`},
+		{"label_fig3.golden", "/v1/label", `{"example": "fig3"}`},
+		{"simulate_fig2.golden", "/v1/simulate", `{"example": "fig2", "procs": 8, "capacity": 64}`},
+		{"batch_mixed.golden", "/v1/batch", `{"requests": [
+			{"op": "label", "example": "fig1"},
+			{"op": "simulate", "example": "fig1"},
+			{"op": "label", "example": "nope"}
+		]}`},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			status, body := post(t, ts.URL+tc.path, tc.body)
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, body)
+			}
+			checkGolden(t, tc.golden, body)
+		})
+	}
+}
+
+// TestResponsesByteIdenticalOverHTTP re-requests the same document and
+// compares bytes, end to end through the HTTP layer.
+func TestResponsesByteIdenticalOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{"program": "program http_det\nvar a[8]\nregion r loop i = 0 to 7 {\n  a[i] = a[i] + 1\n}\n"}`
+	_, first := post(t, ts.URL+"/v1/label", body)
+	for i := 0; i < 3; i++ {
+		_, again := post(t, ts.URL+"/v1/label", body)
+		if !bytes.Equal(first, again) {
+			t.Fatal("response bytes differ across identical requests")
+		}
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, tc := range []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"bad json", "/v1/label", `{"example":`, http.StatusBadRequest},
+		{"unknown field", "/v1/label", `{"exmaple": "fig2"}`, http.StatusBadRequest},
+		{"unknown example", "/v1/label", `{"example": "fig9"}`, http.StatusBadRequest},
+		{"parse error", "/v1/label", `{"program": "program x\nregion {"}`, http.StatusBadRequest},
+		{"empty batch", "/v1/batch", `{"requests": []}`, http.StatusBadRequest},
+		{"no input", "/v1/simulate", `{}`, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := post(t, ts.URL+tc.path, tc.body)
+			if status != tc.status {
+				t.Errorf("status = %d, want %d (%s)", status, tc.status, body)
+			}
+			if !bytes.Contains(body, []byte("error")) {
+				t.Errorf("error document missing: %s", body)
+			}
+		})
+	}
+	// Method and route checks.
+	resp, err := http.Get(ts.URL + "/v1/label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/label = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(b) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, b)
+	}
+
+	if status, _ := post(t, ts.URL+"/v1/label", `{"example": "fig2"}`); status != http.StatusOK {
+		t.Fatal("label failed")
+	}
+	resp, err = http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"requests_label 1", "cache_misses 1", "latency_count 1"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metricz missing %q:\n%s", want, b)
+		}
+	}
+}
+
+// TestDaemonLifecycle boots the real daemon on an ephemeral port, labels
+// through it, then cancels the context and verifies the graceful drain
+// path runs to completion.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr lockedBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runUntil(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr)
+	}()
+
+	// The daemon prints its ephemeral address once the listener is up.
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	re := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	for url == "" {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			url = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	status, body := post(t, url+"/v1/label", `{"example": "fig2"}`)
+	if status != http.StatusOK {
+		t.Fatalf("label via daemon = %d: %s", status, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("daemon did not drain and exit")
+	}
+	if !strings.Contains(stderr.String(), "drained, bye") {
+		t.Errorf("graceful drain message missing; stderr: %s", stderr.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := runUntil(context.Background(), []string{"-nope"}, &out, &out); err == nil {
+		t.Error("expected flag error")
+	}
+}
+
+// lockedBuffer is a concurrency-safe bytes.Buffer: the daemon goroutine
+// writes while the test polls.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,23 @@
+// Package benchfmt defines the BENCH_results.json document shape shared
+// by cmd/benchjson (which writes and gates it from `go test -bench`
+// output) and cmd/loadbench (which merges served-throughput rows into
+// it). One definition means the two tools cannot silently drift and
+// drop each other's fields on a read-modify-write.
+package benchfmt
+
+// Result holds one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the BENCH_results.json shape: current measurements plus
+// the embedded reference baseline.
+type Document struct {
+	Go         string            `json:"go,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Baseline   map[string]Result `json:"baseline,omitempty"`
+}

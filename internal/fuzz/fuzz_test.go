@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -186,5 +187,30 @@ func TestSummaryFormatStable(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("summary missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestRunCtxCancelled verifies a cancelled sweep reports the ctx error
+// instead of a (nondeterministic) partial summary.
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, Options{Seed: 1, N: 50, Shards: 2}); err == nil {
+		t.Error("expected an error from a pre-cancelled sweep")
+	}
+}
+
+// TestRunCtxBackground matches Run: a background ctx changes nothing.
+func TestRunCtxBackground(t *testing.T) {
+	a, err := Run(Options{Seed: 7, N: 24, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), Options{Seed: 7, N: 24, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Error("digest differs between Run and RunCtx across shard counts")
 	}
 }

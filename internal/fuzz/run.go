@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"runtime"
@@ -76,6 +77,15 @@ type Summary struct {
 // Shards parallel batches, shrinks failures and (optionally) writes
 // reproducers to the corpus directory.
 func Run(o Options) (*Summary, error) {
+	return RunCtx(context.Background(), o)
+}
+
+// RunCtx is Run with cancellation: when ctx is done, in-flight shards
+// finish their current program, no further programs are checked, and the
+// ctx error is returned (a timed-out sweep is an error, not a partial
+// summary — partial results would break the summary's determinism
+// guarantee).
+func RunCtx(ctx context.Context, o Options) (*Summary, error) {
 	if o.N <= 0 {
 		return nil, fmt.Errorf("fuzz: n must be positive")
 	}
@@ -108,14 +118,20 @@ func Run(o Options) (*Summary, error) {
 	scenarios := make([]*gen.Scenario, o.N)
 	verdicts := make([]*Verdict, o.N)
 	oopts := OracleOptions{BreakLabeling: o.BreakLabeling}
-	parallel.ForEach(shards, shards, func(s int) {
+	err := parallel.ForEachCtx(ctx, shards, shards, func(s int) {
 		lo, hi := s*o.N/shards, (s+1)*o.N/shards
 		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			sc := gen.FromProfile(rotation[i%len(rotation)], o.Seed+int64(i))
 			scenarios[i] = sc
 			verdicts[i] = CheckProgram(sc.Program, oopts)
 		}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: sweep cancelled: %w", err)
+	}
 
 	sum := &Summary{
 		Seed: o.Seed, N: o.N, Profile: o.Profile,

@@ -30,8 +30,28 @@ type ProgramCache struct {
 	entries map[ir.Fingerprint]*cacheEntry
 	order   *list.List // front = most recently used; values are *cacheEntry
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// CacheStats is a point-in-time snapshot of a ProgramCache's counters and
+// occupancy (Stats keeps the original two-value accessor for the common
+// case; the service /metricz endpoint reports the full snapshot).
+type CacheStats struct {
+	// Hits and Misses count lookups since construction or ResetStats.
+	Hits, Misses int64
+	// Evictions counts entries dropped by LRU capacity pressure (Purge
+	// does not count).
+	Evictions int64
+	// Entries is the current resident entry count (may transiently exceed
+	// capacity while every resident entry is pinned).
+	Entries int
+	// Pinned is the number of resident entries currently pinned by
+	// in-flight callers (waiters > 0).
+	Pinned int
+	// Capacity is the configured maximum entry count.
+	Capacity int
 }
 
 type cacheEntry struct {
@@ -54,6 +74,16 @@ type cacheEntry struct {
 // computation. Tests use it to hold a computation in flight while they
 // provoke eviction.
 var testComputeHook func(*ir.Program)
+
+// SetTestComputeHook installs a hook that runs at the start of every
+// cache entry computation and returns a function restoring the previous
+// hook. Test-only: the service tests use it to hold a sharded computation
+// in flight while they provoke cross-shard eviction pressure.
+func SetTestComputeHook(hook func(*ir.Program)) (restore func()) {
+	prev := testComputeHook
+	testComputeHook = hook
+	return func() { testComputeHook = prev }
+}
 
 // NewProgramCache returns a cache holding up to capacity labeled
 // programs (minimum 1).
@@ -143,6 +173,7 @@ func (c *ProgramCache) evictExcessLocked() {
 		v := victim.Value.(*cacheEntry)
 		c.order.Remove(victim)
 		delete(c.entries, v.fp)
+		c.evictions.Add(1)
 	}
 }
 
@@ -151,10 +182,32 @@ func (c *ProgramCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// ResetStats zeroes the hit/miss counters (the cached entries stay).
+// DetailedStats returns the full counter and occupancy snapshot,
+// including evictions and the currently-pinned entry count.
+func (c *ProgramCache) DetailedStats() CacheStats {
+	c.mu.Lock()
+	s := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.order.Len(),
+		Capacity:  c.cap,
+	}
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).waiters > 0 {
+			s.Pinned++
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// ResetStats zeroes the hit/miss/eviction counters (the cached entries
+// stay).
 func (c *ProgramCache) ResetStats() {
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
 }
 
 // Purge drops every cached entry and zeroes the counters. In-flight

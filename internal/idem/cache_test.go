@@ -168,3 +168,64 @@ func TestProgramCacheEvictionDuringCompute(t *testing.T) {
 		t.Errorf("hits = %d, want 1 (second caller joined the in-flight entry)", hits)
 	}
 }
+
+// TestProgramCacheDetailedStats locks the eviction counter and occupancy
+// reporting the service /metricz endpoint surfaces.
+func TestProgramCacheDetailedStats(t *testing.T) {
+	c := NewProgramCache(2)
+	for bound := 1; bound <= 3; bound++ {
+		if _, _, err := c.Labeled(cacheProgram(bound)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.DetailedStats()
+	if s.Misses != 3 || s.Hits != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/3", s.Hits, s.Misses)
+	}
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (bound=1 was the LRU victim)", s.Evictions)
+	}
+	if s.Entries != 2 || s.Capacity != 2 {
+		t.Errorf("entries/capacity = %d/%d, want 2/2", s.Entries, s.Capacity)
+	}
+	if s.Pinned != 0 {
+		t.Errorf("pinned = %d, want 0 (no computation in flight)", s.Pinned)
+	}
+	c.ResetStats()
+	if s := c.DetailedStats(); s.Hits != 0 || s.Misses != 0 || s.Evictions != 0 {
+		t.Errorf("counters after ResetStats = %+v, want zeros", s)
+	}
+}
+
+// TestProgramCacheDetailedStatsPinned observes a pinned entry while its
+// computation is held in flight through the test hook.
+func TestProgramCacheDetailedStatsPinned(t *testing.T) {
+	c := NewProgramCache(2)
+	slow := cacheProgram(11)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	restore := SetTestComputeHook(func(p *ir.Program) {
+		if p == slow {
+			entered <- struct{}{}
+			<-release
+		}
+	})
+	defer restore()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Labeled(slow)
+		done <- err
+	}()
+	<-entered
+	if s := c.DetailedStats(); s.Pinned != 1 {
+		t.Errorf("pinned = %d, want 1 while the computation is in flight", s.Pinned)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if s := c.DetailedStats(); s.Pinned != 0 {
+		t.Errorf("pinned = %d, want 0 after the waiter drained", s.Pinned)
+	}
+}

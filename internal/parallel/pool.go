@@ -5,6 +5,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -65,4 +66,80 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 		out[i] = fn(i)
 	})
 	return out
+}
+
+// ForEachCtx is ForEach with early cancellation: once ctx is done or any
+// fn panics, no further indices are started (in-flight calls run to
+// completion — fn cannot be preempted). It blocks until every started
+// call returns, then re-raises the first panic if there was one, and
+// otherwise returns ctx.Err() (nil when all n calls ran).
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		next     int
+		stopped  bool
+		panicked any
+		once     sync.Once
+	)
+	done := ctx.Done()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.Lock()
+				if stopped || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							once.Do(func() { panicked = r })
+							mu.Lock()
+							stopped = true
+							mu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return ctx.Err()
+}
+
+// MapCtx applies fn to each index with ForEachCtx's cancellation
+// semantics. On early cancel the returned slice still has length n; slots
+// whose call never started (or was in flight when cancellation hit and
+// completed anyway) hold whatever fn stored — callers should treat the
+// whole slice as partial whenever the error is non-nil.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachCtx(ctx, n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out, err
 }

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"refidem/internal/gen"
+)
+
+// benchSources returns n distinct generated program sources: the request
+// mix a serving benchmark rotates through. Deterministic per (seed, n).
+func benchSources(n int) []string {
+	profiles := gen.Profiles()
+	out := make([]string, n)
+	for i := range out {
+		sc := gen.FromProfile(profiles[i%len(profiles)], int64(1000+i))
+		out[i] = sc.Program.Format()
+	}
+	return out
+}
+
+// BenchmarkServiceLabelThroughput measures end-to-end label request
+// throughput under full parallelism — parse, fingerprint, shard lookup,
+// queue, response render — over a rotation of 8 distinct programs, with
+// the coalescing/batching queue on and off. ns/op is the per-request
+// wall cost at saturation; the CI gate holds both modes.
+func BenchmarkServiceLabelThroughput(b *testing.B) {
+	for _, coalesce := range []bool{true, false} {
+		b.Run(fmt.Sprintf("coalesce=%v", coalesce), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Coalesce = coalesce
+			cfg.QueueDepth = 1 << 16
+			cfg.ResponseCache = -1 // measure the queue path, not byte replay
+			s := New(cfg)
+			defer s.Close()
+			srcs := benchSources(8)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					req := Request{Program: srcs[i%len(srcs)]}
+					i++
+					for {
+						_, err := s.Label(ctx, req)
+						if err == nil {
+							break
+						}
+						if errors.Is(err, ErrOverloaded) {
+							continue // backpressure working as intended: retry
+						}
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			snap := s.Metrics().SnapshotNow()
+			if snap.LabelRequests > 0 {
+				b.ReportMetric(float64(snap.Coalesced)/float64(snap.LabelRequests), "coalesced/req")
+			}
+			cs := s.CacheStats()
+			if lookups := cs.Hits + cs.Misses; lookups > 0 {
+				b.ReportMetric(100*float64(cs.Hits)/float64(lookups), "cache-hit%")
+			}
+		})
+	}
+}
+
+// BenchmarkServiceLabelSerial measures the single-caller steady state —
+// every request after the first is answered from the response byte cache
+// (hash the request, one LRU lookup, return the shared bytes) — with
+// deterministic allocation counts, so the gate's allocs/op check applies
+// cleanly.
+func BenchmarkServiceLabelSerial(b *testing.B) {
+	s := New(DefaultConfig())
+	defer s.Close()
+	src := benchSources(1)[0]
+	ctx := context.Background()
+	if _, err := s.Label(ctx, Request{Program: src}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Label(ctx, Request{Program: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if snap := s.Metrics().SnapshotNow(); snap.Computed != 1 {
+		b.Fatalf("computed = %d, want 1 (steady state must be pure response hits)", snap.Computed)
+	}
+}
+
+// BenchmarkServiceSimulateThroughput measures simulate request throughput
+// (label + three engine runs + live-out verification per distinct
+// program; coalescing collapses concurrent duplicates).
+func BenchmarkServiceSimulateThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.QueueDepth = 1 << 16
+	cfg.ResponseCache = -1
+	s := New(cfg)
+	defer s.Close()
+	srcs := benchSources(4)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := Request{Program: srcs[i%len(srcs)]}
+			i++
+			for {
+				_, err := s.Simulate(ctx, req)
+				if err == nil {
+					break
+				}
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				b.Fatal(err)
+			}
+		}
+	})
+}

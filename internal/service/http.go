@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBody bounds a request document; maxBatchItems bounds how many
+// items one /v1/batch call may carry. Both protect the admission queue
+// from a single oversized request.
+const (
+	maxRequestBody = 4 << 20
+	maxBatchItems  = 256
+)
+
+// BatchRequest is the /v1/batch document.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchResponse is the /v1/batch reply: one entry per request, in order.
+// Failed items carry {"error": ...} in place of their response document.
+type BatchResponse struct {
+	Responses []json.RawMessage `json:"responses"`
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/label     — label a program (Request document)
+//	POST /v1/simulate  — label + simulate under seq/HOSE/CASE
+//	POST /v1/batch     — up to 256 requests, answered in order
+//	GET  /healthz      — liveness probe
+//	GET  /metricz      — counters, cache stats, latency histogram
+//
+// Responses for identical programs are byte-identical. Overload maps to
+// 503 with Retry-After; malformed requests to 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/label", func(w http.ResponseWriter, r *http.Request) {
+		s.handleOp(w, r, OpLabel)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleOp(w, r, OpSimulate)
+	})
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.RenderMetricz())
+	})
+	return mux
+}
+
+func (s *Server) handleOp(w http.ResponseWriter, r *http.Request, op string) {
+	var req Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req.Op = op
+	resp, err := s.Do(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var batch BatchRequest
+	if !decodeBody(w, r, &batch) {
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, fmt.Errorf("%w: empty batch", ErrBadRequest))
+		return
+	}
+	if len(batch.Requests) > maxBatchItems {
+		writeError(w, fmt.Errorf("%w: batch of %d exceeds the %d-item limit",
+			ErrBadRequest, len(batch.Requests), maxBatchItems))
+		return
+	}
+	resps, errs := s.Batch(r.Context(), batch.Requests)
+	out := BatchResponse{Responses: make([]json.RawMessage, len(resps))}
+	for i := range resps {
+		if errs[i] != nil {
+			doc, _ := json.Marshal(errorDoc{Error: errs[i].Error()})
+			out.Responses[i] = doc
+			continue
+		}
+		out.Responses[i] = resps[i]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Write(append(enc, '\n'))
+}
+
+// decodeBody parses the request body into dst, answering 400 itself on
+// failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+// writeError maps a service error to its HTTP status and a JSON error
+// document.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	doc, _ := json.Marshal(errorDoc{Error: err.Error()})
+	w.Write(append(doc, '\n'))
+}

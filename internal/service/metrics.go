@@ -1,0 +1,151 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two latency histogram buckets:
+// bucket i counts requests with latency <= 2^i microseconds, so the
+// histogram spans 1 µs .. ~67 s with one overflow bucket at the end.
+const latencyBuckets = 27
+
+// Metrics holds the server's counters. All fields are atomically updated
+// and safe to read while the server runs; RenderMetricz produces the
+// /metricz text document.
+type Metrics struct {
+	// Per-endpoint request counters (batch items count under their op;
+	// batchCalls counts /v1/batch invocations themselves).
+	labelRequests    atomic.Int64
+	simulateRequests atomic.Int64
+	batchCalls       atomic.Int64
+
+	// Outcome counters.
+	badRequests atomic.Int64
+	overloaded  atomic.Int64
+	coalesced   atomic.Int64
+	computed    atomic.Int64
+	// respHits counts requests answered from the response byte cache
+	// without touching the parser or the queue.
+	respHits atomic.Int64
+
+	// Dispatch counters: batches admitted to the worker pool and the
+	// tasks they carried (their ratio is the realized batching factor).
+	batches    atomic.Int64
+	batchTasks atomic.Int64
+
+	// Latency histogram over completed requests (coalesced waiters
+	// included): bucket i counts latencies <= 2^i µs.
+	latency [latencyBuckets + 1]atomic.Int64
+	// latencySumNs accumulates total latency for the mean.
+	latencySumNs atomic.Int64
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// observeLatency records one completed request's latency.
+func (m *Metrics) observeLatency(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < latencyBuckets && us > 1<<b {
+		b++
+	}
+	m.latency[b].Add(1)
+	m.latencySumNs.Add(d.Nanoseconds())
+}
+
+// Snapshot is a point-in-time copy of every counter, for tests and the
+// load harness.
+type Snapshot struct {
+	LabelRequests, SimulateRequests, BatchCalls int64
+	BadRequests, Overloaded, Coalesced          int64
+	Computed, RespHits, Batches, BatchTasks     int64
+	LatencyCount, LatencySumNs                  int64
+}
+
+// SnapshotNow copies the counters.
+func (m *Metrics) SnapshotNow() Snapshot {
+	s := Snapshot{
+		LabelRequests:    m.labelRequests.Load(),
+		SimulateRequests: m.simulateRequests.Load(),
+		BatchCalls:       m.batchCalls.Load(),
+		BadRequests:      m.badRequests.Load(),
+		Overloaded:       m.overloaded.Load(),
+		Coalesced:        m.coalesced.Load(),
+		Computed:         m.computed.Load(),
+		RespHits:         m.respHits.Load(),
+		Batches:          m.batches.Load(),
+		BatchTasks:       m.batchTasks.Load(),
+		LatencySumNs:     m.latencySumNs.Load(),
+	}
+	for i := range m.latency {
+		s.LatencyCount += m.latency[i].Load()
+	}
+	return s
+}
+
+// RenderMetricz renders the /metricz document: one "name value" line per
+// counter in fixed order, followed by the aggregate cache statistics and
+// the latency histogram (cumulative buckets; empty leading buckets are
+// elided).
+func (s *Server) RenderMetricz() string {
+	m := s.metrics
+	var b strings.Builder
+	w := func(name string, v int64) { fmt.Fprintf(&b, "%s %d\n", name, v) }
+	w("requests_label", m.labelRequests.Load())
+	w("requests_simulate", m.simulateRequests.Load())
+	w("requests_batch_calls", m.batchCalls.Load())
+	w("requests_bad", m.badRequests.Load())
+	w("rejected_overloaded", m.overloaded.Load())
+	w("coalesced_requests", m.coalesced.Load())
+	w("tasks_computed", m.computed.Load())
+	w("dispatch_batches", m.batches.Load())
+	w("dispatch_batch_tasks", m.batchTasks.Load())
+
+	w("response_cache_hits", m.respHits.Load())
+	if s.resp != nil {
+		w("response_cache_entries", int64(s.resp.entries()))
+	} else {
+		w("response_cache_entries", 0)
+	}
+
+	cs := s.CacheStats()
+	w("cache_shards", int64(len(s.shards)))
+	w("cache_hits", cs.Hits)
+	w("cache_misses", cs.Misses)
+	w("cache_evictions", cs.Evictions)
+	w("cache_entries", int64(cs.Entries))
+	w("cache_pinned", int64(cs.Pinned))
+	w("cache_capacity", int64(cs.Capacity))
+
+	var count, cum int64
+	for i := range m.latency {
+		count += m.latency[i].Load()
+	}
+	w("latency_count", count)
+	if count > 0 {
+		w("latency_mean_ns", m.latencySumNs.Load()/count)
+	} else {
+		w("latency_mean_ns", 0)
+	}
+	started := false
+	for i := 0; i <= latencyBuckets; i++ {
+		n := m.latency[i].Load()
+		cum += n
+		if !started && n == 0 && cum == 0 {
+			continue
+		}
+		started = true
+		if i < latencyBuckets {
+			fmt.Fprintf(&b, "latency_le_us{%d} %d\n", int64(1)<<i, cum)
+		} else {
+			fmt.Fprintf(&b, "latency_le_us{+inf} %d\n", cum)
+		}
+		if cum == count {
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"refidem/internal/engine"
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/lang"
+	"refidem/internal/workloads"
+)
+
+// Operation names. The HTTP endpoints imply them; batch items carry them
+// explicitly.
+const (
+	OpLabel    = "label"
+	OpSimulate = "simulate"
+)
+
+// Request is one analysis request. Exactly one of Program (mini-language
+// source text) and Example (a built-in worked example: fig1, fig2, fig3,
+// buts) selects the program.
+type Request struct {
+	// Op is the operation: OpLabel or OpSimulate. The typed endpoints
+	// (Label, Simulate, /v1/label, /v1/simulate) fill it in; batch items
+	// must set it.
+	Op string `json:"op,omitempty"`
+	// Program is mini-language source text (see internal/lang).
+	Program string `json:"program,omitempty"`
+	// Example names a built-in program: fig1, fig2, fig3, buts.
+	Example string `json:"example,omitempty"`
+	// Deps includes the may-dependence list in label responses.
+	Deps bool `json:"deps,omitempty"`
+	// Procs overrides the simulated processor count (simulate only;
+	// 0 keeps the server's base machine).
+	Procs int `json:"procs,omitempty"`
+	// Capacity overrides the per-segment speculative storage capacity
+	// (simulate only; 0 keeps the server's base machine).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// resolveProgram parses or looks up the request's program. The program is
+// validated here, in the submitting goroutine, so admission rejects
+// malformed requests before they consume queue space.
+func (req Request) resolveProgram() (*ir.Program, error) {
+	switch {
+	case req.Program != "" && req.Example != "":
+		return nil, fmt.Errorf("use either program or example, not both")
+	case req.Program != "":
+		return lang.Parse(req.Program)
+	case req.Example != "":
+		switch req.Example {
+		case "fig1", "intro":
+			return workloads.IntroExample(), nil
+		case "fig2":
+			return workloads.Figure2(), nil
+		case "fig3":
+			return workloads.Figure3(), nil
+		case "buts", "fig4":
+			return workloads.ButsDO1(8), nil
+		default:
+			return nil, fmt.Errorf("unknown example %q (want fig1, fig2, fig3, buts)", req.Example)
+		}
+	default:
+		return nil, fmt.Errorf("empty request: pass program source or an example name")
+	}
+}
+
+// LabelResponse is the document served for label requests. Field order,
+// slice ordering and float formatting are all deterministic: identical
+// programs yield byte-identical documents.
+type LabelResponse struct {
+	Op          string           `json:"op"`
+	Program     string           `json:"program"`
+	Fingerprint string           `json:"fingerprint"`
+	Regions     []RegionLabeling `json:"regions"`
+}
+
+// RegionLabeling is one region's labeling in a LabelResponse.
+type RegionLabeling struct {
+	Name             string             `json:"name"`
+	Kind             string             `json:"kind"`
+	FullyIndependent bool               `json:"fully_independent"`
+	IdemFraction     float64            `json:"idem_fraction"`
+	Categories       []CategoryFraction `json:"categories,omitempty"`
+	Refs             []RefLabel         `json:"refs"`
+	Deps             []string           `json:"deps,omitempty"`
+}
+
+// CategoryFraction reports the static fraction of one idempotency
+// category (only categories with a non-zero fraction appear, in the
+// paper's §4.1 order).
+type CategoryFraction struct {
+	Category string  `json:"category"`
+	Fraction float64 `json:"fraction"`
+}
+
+// RefLabel is one reference row: the same evidence cmd/idemlabel prints.
+type RefLabel struct {
+	Ref      string `json:"ref"`
+	Segment  string `json:"segment"`
+	Label    string `json:"label"`
+	Category string `json:"category"`
+	// RFW reports re-occurring-first-write status; writes only.
+	RFW       *bool `json:"rfw,omitempty"`
+	CrossSink bool  `json:"cross_sink"`
+}
+
+// SimulateResponse is the document served for simulate requests.
+type SimulateResponse struct {
+	Op           string     `json:"op"`
+	Program      string     `json:"program"`
+	Fingerprint  string     `json:"fingerprint"`
+	Processors   int        `json:"processors"`
+	SpecCapacity int        `json:"spec_capacity"`
+	Models       []ModelRow `json:"models"`
+	// Verified reports that both speculative runs reproduced the
+	// sequential live-out memory state (it is always true in a served
+	// response; a mismatch is an error instead).
+	Verified bool `json:"verified"`
+}
+
+// ModelRow is one execution model's outcome in a SimulateResponse.
+type ModelRow struct {
+	Mode                string  `json:"mode"`
+	Cycles              int64   `json:"cycles"`
+	Speedup             float64 `json:"speedup"`
+	DynRefs             int64   `json:"dyn_refs"`
+	IdemRefs            int64   `json:"idem_refs"`
+	Overflows           int64   `json:"overflows"`
+	OverflowStallCycles int64   `json:"overflow_stall_cycles"`
+	FlowViolations      int64   `json:"flow_violations"`
+	ControlViolations   int64   `json:"control_violations"`
+	PeakSpecOccupancy   int     `json:"peak_spec_occupancy"`
+	UtilizationPct      float64 `json:"utilization_pct"`
+}
+
+// marshalResponse renders a response document: two-space indent, trailing
+// newline. encoding/json emits struct fields in declaration order and
+// formats floats with the shortest round-trip representation, so the
+// bytes are a pure function of the document.
+func marshalResponse(doc any) ([]byte, error) {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// renderLabelResponse builds the label document from a canonical labeled
+// program (as returned by a cache shard). fp is the program's content
+// fingerprint, already computed at admission.
+func renderLabelResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*idem.Result, withDeps bool) ([]byte, error) {
+	doc := LabelResponse{
+		Op:          OpLabel,
+		Program:     p.Name,
+		Fingerprint: hex.EncodeToString(fp[:]),
+		Regions:     make([]RegionLabeling, 0, len(p.Regions)),
+	}
+	for _, r := range p.Regions {
+		res := labs[r]
+		total, byCat := res.IdempotentFraction()
+		reg := RegionLabeling{
+			Name:             r.Name,
+			Kind:             fmt.Sprint(r.Kind),
+			FullyIndependent: res.FullyIndependent,
+			IdemFraction:     total,
+			Refs:             make([]RefLabel, 0, len(r.Refs)),
+		}
+		for _, c := range []idem.Category{idem.CatReadOnly, idem.CatPrivate, idem.CatSharedDependent, idem.CatFullyIndependent} {
+			if f := byCat[c]; f > 0 {
+				reg.Categories = append(reg.Categories, CategoryFraction{Category: c.String(), Fraction: f})
+			}
+		}
+		for _, ref := range r.Refs {
+			segName := fmt.Sprint(ref.SegID)
+			if s := r.Seg(ref.SegID); s != nil && s.Name != "" {
+				segName = s.Name
+			}
+			row := RefLabel{
+				Ref:       refText(ref),
+				Segment:   segName,
+				Label:     res.Label(ref).String(),
+				Category:  res.Category(ref).String(),
+				CrossSink: res.Deps.IsCrossSink(ref),
+			}
+			if ref.Access == ir.Write {
+				isRFW := res.RFW.IsRFW(ref)
+				row.RFW = &isRFW
+			}
+			reg.Refs = append(reg.Refs, row)
+		}
+		if withDeps {
+			reg.Deps = make([]string, 0, len(res.Deps.All))
+			for _, d := range res.Deps.All {
+				reg.Deps = append(reg.Deps, fmt.Sprint(d))
+			}
+			sort.Strings(reg.Deps)
+		}
+		doc.Regions = append(doc.Regions, reg)
+	}
+	return marshalResponse(doc)
+}
+
+// renderSimulateResponse executes the labeled program under all three
+// models on cfg, verifies the speculative runs against the sequential
+// memory state, and builds the simulate document.
+func renderSimulateResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*idem.Result, cfg engine.Config) ([]byte, error) {
+	seq, err := engine.RunSequential(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hose, err := engine.RunSpeculative(p, labs, cfg, engine.HOSE)
+	if err != nil {
+		return nil, err
+	}
+	caseR, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range []*engine.Result{hose, caseR} {
+		if err := engine.LiveOutMismatch(p, labs, seq, r); err != nil {
+			return nil, fmt.Errorf("%v run produced wrong results: %v", r.Mode, err)
+		}
+	}
+	doc := SimulateResponse{
+		Op:           OpSimulate,
+		Program:      p.Name,
+		Fingerprint:  hex.EncodeToString(fp[:]),
+		Processors:   cfg.Processors,
+		SpecCapacity: cfg.SpecCapacity,
+		Verified:     true,
+	}
+	for _, r := range []*engine.Result{seq, hose, caseR} {
+		row := ModelRow{
+			Mode:                r.Mode.String(),
+			Cycles:              r.Cycles,
+			Speedup:             float64(seq.Cycles) / float64(r.Cycles),
+			DynRefs:             r.Stats.DynRefs,
+			IdemRefs:            r.Stats.IdemRefs,
+			Overflows:           r.Stats.Overflows,
+			OverflowStallCycles: r.Stats.OverflowStallCycles,
+			FlowViolations:      r.Stats.FlowViolations,
+			ControlViolations:   r.Stats.ControlViolations,
+			PeakSpecOccupancy:   r.Stats.PeakSpecOccupancy,
+		}
+		if r.Mode != engine.Sequential && r.Cycles > 0 {
+			row.UtilizationPct = 100 * float64(r.Stats.BusyCycles) /
+				float64(int64(cfg.Processors)*r.Cycles)
+		}
+		doc.Models = append(doc.Models, row)
+	}
+	return marshalResponse(doc)
+}
+
+// refText renders a reference as "access var[subs]" (the cmd/idemlabel
+// convention).
+func refText(ref *ir.Ref) string {
+	s := ref.Var.Name
+	if len(ref.Subs) > 0 {
+		s += "["
+		for i, sub := range ref.Subs {
+			if i > 0 {
+				s += ","
+			}
+			s += sub.String()
+		}
+		s += "]"
+	}
+	return fmt.Sprintf("%s %s", ref.Access, s)
+}

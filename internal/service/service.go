@@ -1,0 +1,456 @@
+// Package service is the serving layer of the reproduction: a
+// long-running, concurrency-safe Server wrapping the full parse → label →
+// simulate pipeline behind a request API, so the ~22 µs dense labeling
+// core and the engine's compiled-region caches are amortized across
+// requests instead of being rebuilt per CLI invocation.
+//
+// The architecture, socket to core:
+//
+//   - a sharded program cache: N idem.ProgramCache shards keyed by
+//     ir.FingerprintOf, preserving the per-shard in-flight pinning and
+//     single-flight guarantees under cross-shard concurrency;
+//   - a batching/coalescing admission queue: identical in-flight requests
+//     (same op, program fingerprint and parameters) deduplicate onto one
+//     computation, and admitted tasks drain in bounded batches through an
+//     internal/parallel worker pool;
+//   - admission control and backpressure: the queue is bounded, a full
+//     queue rejects with ErrOverloaded, and Close drains every admitted
+//     request before returning;
+//   - metrics: per-endpoint counters, aggregate cache hit/miss/eviction/
+//     pinned statistics and a request latency histogram, rendered by
+//     RenderMetricz.
+//
+// Responses are byte-deterministic: identical programs (and parameters)
+// produce byte-identical response documents, so the golden and fuzzing
+// oracles can target the server exactly like the CLIs.
+package service
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"refidem/internal/engine"
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/parallel"
+)
+
+// Typed service errors. The HTTP layer maps them to status codes;
+// in-process callers test with errors.Is.
+var (
+	// ErrBadRequest wraps malformed requests: unparseable programs,
+	// unknown examples, invalid parameters.
+	ErrBadRequest = errors.New("bad request")
+	// ErrOverloaded is returned when the admission queue is full. The
+	// request was not admitted; the caller may retry.
+	ErrOverloaded = errors.New("overloaded: admission queue full")
+	// ErrClosed is returned for requests submitted after Close began.
+	ErrClosed = errors.New("server closed")
+)
+
+// Config parameterizes a Server. The zero value is normalized to the
+// defaults documented per field; DefaultConfig spells them out.
+type Config struct {
+	// Shards is the program cache shard count (<= 0 selects 8). The shard
+	// of a program is chosen by its content fingerprint.
+	Shards int
+	// CacheCapacity is the per-shard labeled-program capacity
+	// (<= 0 selects 64).
+	CacheCapacity int
+	// Workers bounds the compute worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrOverloaded (<= 0 selects 1024).
+	QueueDepth int
+	// MaxBatch bounds how many queued tasks one dispatch admits to the
+	// worker pool at a time (<= 0 selects 64).
+	MaxBatch int
+	// Coalesce deduplicates identical in-flight requests onto a single
+	// computation. DefaultConfig enables it; the zero Config leaves it
+	// off so the field composes with struct literals.
+	Coalesce bool
+	// ResponseCache is the per-shard capacity of the response byte cache
+	// — the fast path answering repeat requests without touching the
+	// parser or the queue (0 selects 4× CacheCapacity, negative disables
+	// it). Responses are byte-deterministic, so serving cached bytes is
+	// exact.
+	ResponseCache int
+	// Engine is the base simulated machine; per-request processors and
+	// capacity override it. A zero Processors selects
+	// engine.DefaultConfig.
+	Engine engine.Config
+}
+
+// DefaultConfig returns the production defaults: 8 cache shards of 64
+// programs, GOMAXPROCS workers, a 1024-deep admission queue drained in
+// batches of 64, coalescing on, the paper's default machine.
+func DefaultConfig() Config {
+	return Config{
+		Shards:        8,
+		CacheCapacity: 64,
+		QueueDepth:    1024,
+		MaxBatch:      64,
+		Coalesce:      true,
+		Engine:        engine.DefaultConfig(),
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.ResponseCache == 0 {
+		c.ResponseCache = 4 * c.CacheCapacity
+	}
+	if c.Engine.Processors == 0 {
+		c.Engine = engine.DefaultConfig()
+	}
+	return c
+}
+
+// Server is the analysis service. Construct with New, submit with Label,
+// Simulate, Batch or Do, and shut down with Close. All methods are safe
+// for concurrent use.
+type Server struct {
+	cfg     Config
+	shards  []*idem.ProgramCache
+	resp    *respCache // nil when disabled
+	metrics *Metrics
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[taskKey]*task
+	queue    chan *task
+	// closing mirrors closed for lock-free reads on the fast path.
+	closing atomic.Bool
+
+	drained chan struct{}
+}
+
+// taskKey identifies a coalescable computation: the operation, the
+// program content and every parameter that shapes the response.
+type taskKey struct {
+	op       string
+	fp       ir.Fingerprint
+	deps     bool
+	procs    int
+	capacity int
+}
+
+// task is one admitted computation plus its waiters. resp and err are
+// written by the worker before done is closed and read-only afterwards.
+type task struct {
+	key  taskKey
+	prog *ir.Program
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+// New starts a Server: the admission queue is allocated and the
+// dispatcher goroutine begins draining it in bounded batches.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:      cfg,
+		shards:   make([]*idem.ProgramCache, cfg.Shards),
+		metrics:  newMetrics(),
+		inflight: make(map[taskKey]*task),
+		queue:    make(chan *task, cfg.QueueDepth),
+		drained:  make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i] = idem.NewProgramCache(cfg.CacheCapacity)
+	}
+	if cfg.ResponseCache > 0 {
+		s.resp = newRespCache(cfg.Shards, cfg.ResponseCache)
+	}
+	go s.dispatch()
+	return s
+}
+
+// Close stops admission (further requests fail with ErrClosed), drains
+// every already-admitted request to completion and then returns. It is
+// idempotent and safe to call concurrently.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.closing.Store(true)
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.drained
+}
+
+// shardFor maps a program fingerprint to its cache shard.
+func (s *Server) shardFor(fp ir.Fingerprint) *idem.ProgramCache {
+	return s.shards[binary.BigEndian.Uint64(fp[:8])%uint64(len(s.shards))]
+}
+
+// Label runs the labeling pipeline on the request's program and returns
+// the deterministic response document.
+func (s *Server) Label(ctx context.Context, req Request) ([]byte, error) {
+	req.Op = OpLabel
+	return s.Do(ctx, req)
+}
+
+// Simulate labels the request's program and executes it under the
+// sequential, HOSE and CASE models, returning the deterministic response
+// document.
+func (s *Server) Simulate(ctx context.Context, req Request) ([]byte, error) {
+	req.Op = OpSimulate
+	return s.Do(ctx, req)
+}
+
+// Batch submits every request concurrently and returns the per-item
+// responses and errors, in request order. Item failures are independent:
+// one bad program does not fail its neighbours.
+func (s *Server) Batch(ctx context.Context, reqs []Request) ([][]byte, []error) {
+	s.metrics.batchCalls.Add(1)
+	resps := make([][]byte, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = s.Do(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}
+
+// Do validates and admits one request, waits for its computation and
+// returns the response bytes. Identical in-flight requests coalesce onto
+// one computation when the server was configured with Coalesce.
+func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
+	start := time.Now()
+	switch req.Op {
+	case OpLabel:
+		s.metrics.labelRequests.Add(1)
+	case OpSimulate:
+		s.metrics.simulateRequests.Add(1)
+	default:
+		s.metrics.badRequests.Add(1)
+		return nil, fmt.Errorf("%w: unknown op %q (want %q or %q)", ErrBadRequest, req.Op, OpLabel, OpSimulate)
+	}
+	if s.closing.Load() {
+		return nil, ErrClosed
+	}
+	// Structural validation runs before the response-cache lookup: the
+	// cache keys on one program selector, so a malformed request (both
+	// selectors set, or bad parameters) could otherwise collide with a
+	// cached valid request and be accepted or rejected depending on
+	// cache warmth.
+	if req.Program != "" && req.Example != "" {
+		s.metrics.badRequests.Add(1)
+		return nil, fmt.Errorf("%w: use either program or example, not both", ErrBadRequest)
+	}
+	if req.Procs < 0 || req.Capacity < 0 {
+		s.metrics.badRequests.Add(1)
+		return nil, fmt.Errorf("%w: procs and capacity must be non-negative", ErrBadRequest)
+	}
+	var rk respKey
+	if s.resp != nil {
+		rk = respKeyOf(req)
+		if resp, ok := s.resp.get(rk); ok {
+			// Fast path: the identical request was answered before; its
+			// bytes are exact by the determinism guarantee, no parse or
+			// queue trip needed. Only successful responses are cached, so
+			// unparseable or unknown-program requests always fall through
+			// to full resolution below.
+			s.metrics.respHits.Add(1)
+			s.metrics.observeLatency(time.Since(start))
+			return resp, nil
+		}
+	}
+	prog, err := req.resolveProgram()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	t, err := s.admit(req, prog)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		// The computation still completes for any coalesced waiters; this
+		// caller alone abandons it.
+		return nil, ctx.Err()
+	}
+	s.metrics.observeLatency(time.Since(start))
+	if t.err != nil {
+		return nil, t.err
+	}
+	if s.resp != nil {
+		s.resp.put(rk, t.resp)
+	}
+	return t.resp, nil
+}
+
+// admit coalesces the request onto an in-flight task or enqueues a new
+// one, applying backpressure when the queue is full.
+func (s *Server) admit(req Request, prog *ir.Program) (*task, error) {
+	key := taskKey{op: req.Op, fp: ir.FingerprintOf(prog), deps: req.Deps,
+		procs: req.Procs, capacity: req.Capacity}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.cfg.Coalesce {
+		if t, ok := s.inflight[key]; ok {
+			s.metrics.coalesced.Add(1)
+			return t, nil
+		}
+	}
+	t := &task{key: key, prog: prog, done: make(chan struct{})}
+	select {
+	case s.queue <- t:
+	default:
+		s.metrics.overloaded.Add(1)
+		return nil, ErrOverloaded
+	}
+	if s.cfg.Coalesce {
+		s.inflight[key] = t
+	}
+	return t, nil
+}
+
+// dispatch drains the admission queue in bounded batches, handing each
+// batch to an internal/parallel worker pool. Up to Workers batches run
+// concurrently (each bounded by the shared worker-slot pool, so total
+// task concurrency never exceeds Workers); holding a batch slot *before*
+// receiving from the queue keeps backpressure honest — when every slot is
+// busy, admitted tasks accumulate in the bounded queue and overflow to
+// ErrOverloaded instead of piling into unbounded launched-but-waiting
+// batches. dispatch exits — signalling drained — once Close has closed
+// the queue and every admitted task has completed.
+func (s *Server) dispatch() {
+	defer close(s.drained)
+	batchSlots := make(chan struct{}, s.cfg.Workers)
+	workerSlots := make(chan struct{}, s.cfg.Workers)
+	var batches sync.WaitGroup
+	defer batches.Wait()
+	for {
+		batchSlots <- struct{}{}
+		t, ok := <-s.queue
+		if !ok {
+			<-batchSlots
+			return
+		}
+		batch := make([]*task, 1, s.cfg.MaxBatch)
+		batch[0] = t
+		closed := false
+		for len(batch) < s.cfg.MaxBatch && !closed {
+			select {
+			case t, ok := <-s.queue:
+				if !ok {
+					closed = true
+					break
+				}
+				batch = append(batch, t)
+			default:
+				closed = true // queue momentarily empty: dispatch what we have
+			}
+		}
+		s.metrics.batches.Add(1)
+		s.metrics.batchTasks.Add(int64(len(batch)))
+		batches.Add(1)
+		go func(batch []*task) {
+			defer batches.Done()
+			defer func() { <-batchSlots }()
+			// Worker panics are converted to task errors inside run, so
+			// the pool's own panic propagation never fires here; the
+			// background context keeps the pool draining even while Close
+			// waits.
+			parallel.ForEachCtx(context.Background(), len(batch), s.cfg.Workers, func(i int) {
+				workerSlots <- struct{}{}
+				defer func() { <-workerSlots }()
+				s.run(batch[i])
+			})
+		}(batch)
+	}
+}
+
+// run executes one task, publishes its response or error, and retires it
+// from the coalescing table.
+func (s *Server) run(t *task) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = fmt.Errorf("service: internal panic: %v", r)
+		}
+		s.mu.Lock()
+		if s.inflight[t.key] == t {
+			delete(s.inflight, t.key)
+		}
+		s.mu.Unlock()
+		close(t.done)
+	}()
+	s.metrics.computed.Add(1)
+	shard := s.shardFor(t.key.fp)
+	// The shard canonicalizes: identical programs share one labeled
+	// program, so response rendering below sees identical inputs and the
+	// response bytes are identical too.
+	prog, labs, err := shard.Labeled(t.prog)
+	if err != nil {
+		t.err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return
+	}
+	switch t.key.op {
+	case OpLabel:
+		t.resp, t.err = renderLabelResponse(t.key.fp, prog, labs, t.key.deps)
+	case OpSimulate:
+		cfg := s.cfg.Engine
+		if t.key.procs > 0 {
+			cfg.Processors = t.key.procs
+		}
+		if t.key.capacity > 0 {
+			cfg.SpecCapacity = t.key.capacity
+		}
+		t.resp, t.err = renderSimulateResponse(t.key.fp, prog, labs, cfg)
+	default:
+		t.err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, t.key.op)
+	}
+}
+
+// CacheStats aggregates the detailed statistics of every shard.
+func (s *Server) CacheStats() idem.CacheStats {
+	var agg idem.CacheStats
+	for _, shard := range s.shards {
+		st := shard.DetailedStats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Entries += st.Entries
+		agg.Pinned += st.Pinned
+		agg.Capacity += st.Capacity
+	}
+	return agg
+}
+
+// Metrics exposes the server's counters (see Metrics for the fields).
+func (s *Server) Metrics() *Metrics { return s.metrics }

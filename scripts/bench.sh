@@ -10,12 +10,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngineHOSE|BenchmarkEngineCASE|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline}"
+BENCH="${BENCH:-BenchmarkEngineHOSE|BenchmarkEngineCASE|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService}"
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_results.json}"
+# LOADBENCH=0 skips the service load-harness rows (cmd/loadbench).
+LOADBENCH="${LOADBENCH:-1}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . |
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service |
   tee /dev/stderr |
   /tmp/benchjson -o "$OUT" -baseline scripts/seed_baseline.json -go "$(go version | awk '{print $3}')"
+if [ "$LOADBENCH" != "0" ]; then
+  # Merge served-throughput/latency rows (BenchmarkLoad*) into the same
+  # document: in-process and over-HTTP, coalescing on.
+  go run ./cmd/loadbench -n 2000 -merge "$OUT"
+  go run ./cmd/loadbench -mode http -n 1000 -merge "$OUT"
+fi
 echo "wrote $OUT" >&2

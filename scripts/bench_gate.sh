@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # bench_gate.sh — the benchmark-regression CI gate.
 #
-# Runs the engine and analysis benchmarks and compares them (via
-# `benchjson -gate`) against the checked-in BENCH_results.json baseline:
-# the gate fails if any gated benchmark's ns/op regresses by more than
-# 25% or its allocs/op grows at all. Gated: BenchmarkEngine* (the
-# simulator hot path), BenchmarkAnalysisPipeline (the labeling pipeline)
-# and BenchmarkSequentialBaseline (the uniprocessor reference run).
-# Allocation counts are machine-independent, so the allocs half of the
-# gate is exact; the ns/op threshold absorbs runner noise.
+# Runs the engine, analysis and service benchmarks and compares them
+# (via `benchjson -gate`) against the checked-in BENCH_results.json
+# baseline: the gate fails if any gated benchmark's ns/op regresses by
+# more than 25% or its allocs/op grows beyond its limit. Gated:
+# BenchmarkEngine* (the simulator hot path), BenchmarkAnalysisPipeline
+# (the labeling pipeline), BenchmarkSequentialBaseline (the uniprocessor
+# reference run) and the service benchmarks — BenchmarkServiceLabel*
+# (queue path with coalescing on/off plus the response-cache fast path)
+# and BenchmarkServiceSimulateThroughput (label + simulate pipeline).
+# Allocation counts are machine-independent for the single-threaded
+# benchmarks (BenchmarkServiceLabelSerial included), so their allocs
+# gate is exact; the *Throughput service benchmarks run concurrent
+# submitters whose per-op allocs depend on scheduling, so they alone
+# get a 25% allocs allowance (benchjson -gate-alloc-slack). The ns/op
+# threshold absorbs runner noise.
 #
 # Usage:
 #   scripts/bench_gate.sh                  # gate against BENCH_results.json
@@ -17,13 +24,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline}"
+BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService}"
 BENCHTIME="${BENCHTIME:-1s}"
 BASELINE="${BASELINE:-BENCH_results.json}"
 MAX_REGRESS="${MAX_REGRESS:-0.25}"
-PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline}"
+PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput}"
+ALLOC_SLACK="${ALLOC_SLACK:-0.25}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . |
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service |
   tee /dev/stderr |
-  /tmp/benchjson -gate "$BASELINE" -gate-prefix "$PREFIXES" -gate-max-regress "$MAX_REGRESS"
+  /tmp/benchjson -gate "$BASELINE" -gate-prefix "$PREFIXES" -gate-max-regress "$MAX_REGRESS" \
+    -gate-alloc-slack "$ALLOC_SLACK" \
+    -gate-alloc-slack-prefix "BenchmarkServiceLabelThroughput,BenchmarkServiceSimulateThroughput"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# service_smoke.sh — the refidemd CI smoke job.
+#
+# Boots the daemon on an ephemeral port, waits for /healthz, POSTs a fig2
+# label request and diffs the body against the checked-in golden response
+# (cmd/refidemd/testdata/label_fig2.golden — the byte-determinism
+# guarantee, enforced against a live server), exercises /metricz, then
+# sends SIGTERM and verifies the graceful drain exits cleanly.
+#
+# Usage: scripts/service_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/refidemd ./cmd/refidemd
+
+out="$(mktemp -d)"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$out"' EXIT
+
+/tmp/refidemd -addr 127.0.0.1:0 >"$out/stdout" 2>"$out/stderr" &
+pid=$!
+
+# The daemon announces "listening on http://HOST:PORT" once ready.
+url=""
+for _ in $(seq 1 100); do
+  url="$(sed -n 's/^listening on \(http:\/\/[^ ]*\)$/\1/p' "$out/stdout" | head -n1)"
+  [ -n "$url" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "refidemd died:" >&2; cat "$out/stderr" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "refidemd never announced its address" >&2; cat "$out/stderr" >&2; exit 1; }
+echo "smoke: daemon at $url"
+
+curl -sfS "$url/healthz" | grep -qx ok
+
+# The label response must be byte-identical to the golden document.
+curl -sfS -X POST -H 'Content-Type: application/json' \
+  -d '{"example": "fig2", "deps": true}' \
+  "$url/v1/label" >"$out/label_fig2.json"
+diff -u cmd/refidemd/testdata/label_fig2.golden "$out/label_fig2.json"
+echo "smoke: fig2 label response matches golden"
+
+# Repeat request: still byte-identical (served from the response cache).
+curl -sfS -X POST -H 'Content-Type: application/json' \
+  -d '{"example": "fig2", "deps": true}' \
+  "$url/v1/label" | diff -u cmd/refidemd/testdata/label_fig2.golden -
+
+curl -sfS "$url/metricz" >"$out/metricz"
+grep -q '^requests_label 2$' "$out/metricz"
+grep -q '^response_cache_hits 1$' "$out/metricz"
+echo "smoke: metricz counters consistent"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+wait "$pid"
+grep -q 'drained, bye' "$out/stderr"
+echo "smoke: graceful drain ok"
