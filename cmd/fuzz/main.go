@@ -13,9 +13,10 @@
 //
 //	fuzz -seed 1 -n 100                   # quick sweep, all profiles
 //	fuzz -shards 8 -n 2000                # the nightly configuration
-//	fuzz -profile pressure -n 500         # pin one scenario profile
+//	fuzz -profile calls-nested -n 500     # pin one scenario profile
 //	fuzz -corpus testdata/corpus -n 1000  # write minimized reproducers
 //	fuzz -break-labeling -n 50            # prove the wall catches faults
+//	fuzz -replay-corpus dir               # re-run checked-in reproducers
 //	fuzz -list-profiles
 package main
 
@@ -23,30 +24,52 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"refidem/internal/fuzz"
 	"refidem/internal/gen"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "base seed; program i uses seed+i")
-	n := flag.Int("n", 500, "number of programs to generate and check")
-	shards := flag.Int("shards", 0, "parallel shards (0 = all cores); does not affect output")
-	profile := flag.String("profile", "all", "scenario profile to pin, or 'all' to rotate")
-	corpus := flag.String("corpus", "", "directory to write minimized reproducers to")
-	breakLab := flag.Bool("break-labeling", false,
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver behind argument parsing and exit codes; the
+// golden CLI tests drive it directly. Exit codes: 0 clean sweep, 1 oracle
+// failures found, 2 driver error (bad flags, cancelled sweep, unreadable
+// corpus).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Int64("seed", 1, "base seed; program i uses seed+i")
+	n := fs.Int("n", 500, "number of programs to generate and check")
+	shards := fs.Int("shards", 0, "parallel shards (0 = all cores); does not affect output")
+	profile := fs.String("profile", "all", "scenario profile to pin, or 'all' to rotate")
+	corpus := fs.String("corpus", "", "directory to write minimized reproducers to")
+	breakLab := fs.Bool("break-labeling", false,
 		"deliberately corrupt the labeling (force one speculative write idempotent): the wall must catch it")
-	shrinkLimit := flag.Int("shrink-limit", 20, "max failures to shrink (in index order)")
-	timeout := flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit); a timed-out sweep exits 2")
-	list := flag.Bool("list-profiles", false, "list scenario profiles and exit")
-	flag.Parse()
+	shrinkLimit := fs.Int("shrink-limit", 20, "max failures to shrink (in index order)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit); a timed-out sweep exits 2")
+	replay := fs.String("replay-corpus", "",
+		"re-run every *.prog reproducer in the directory through the full oracle wall, then exit")
+	list := fs.Bool("list-profiles", false, "list scenario profiles and exit")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, p := range gen.Profiles() {
-			fmt.Printf("%-12s %s\n", p.Name, p.Desc)
+			fmt.Fprintf(stdout, "%-14s %s\n", p.Name, p.Desc)
 		}
-		return
+		return 0
+	}
+	if *replay != "" {
+		return replayCorpus(*replay, stdout, stderr)
 	}
 
 	ctx := context.Background()
@@ -65,14 +88,49 @@ func main() {
 		ShrinkLimit:   *shrinkLimit,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fuzz:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fuzz:", err)
+		return 2
 	}
-	fmt.Print(sum.Format())
+	fmt.Fprint(stdout, sum.Format())
 	if len(sum.Failures) > 0 {
 		if *breakLab {
-			fmt.Println("(failures are expected under -break-labeling)")
+			fmt.Fprintln(stdout, "(failures are expected under -break-labeling)")
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// replayCorpus re-runs every checked-in reproducer through the oracle
+// wall: corpus entries are minimized failures of bugs since fixed (plus
+// hand-written seed programs), so each must pass. Exit 1 when any entry
+// fails again, 2 when the corpus cannot be read.
+func replayCorpus(dir string, stdout, stderr io.Writer) int {
+	entries, err := fuzz.LoadCorpus(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "fuzz:", err)
+		return 2
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(stderr, "fuzz: no *.prog reproducers under", dir)
+		return 2
+	}
+	bad := 0
+	for _, r := range entries {
+		p, err := r.Program()
+		status := "ok"
+		if err != nil {
+			status = fmt.Sprintf("parse: %v", err)
+			bad++
+		} else if v := fuzz.CheckProgram(p, fuzz.OracleOptions{}); v != nil {
+			status = v.String()
+			bad++
+		}
+		fmt.Fprintf(stdout, "%-44s %s\n", filepath.Base(r.Path), status)
+	}
+	fmt.Fprintf(stdout, "replayed %d reproducers, %d failures\n", len(entries), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update-golden (the cmd/figures / cmd/idemlabel pattern).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./cmd/fuzz -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSweepGolden locks the deterministic summary of a small clean sweep:
+// same seed/n/profile must print identical bytes forever (and
+// independently of the shard count, which both invocations vary).
+func TestSweepGolden(t *testing.T) {
+	var a, b bytes.Buffer
+	if code := run([]string{"-seed", "1", "-n", "20", "-shards", "1"}, &a, os.Stderr); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, a.String())
+	}
+	if code := run([]string{"-seed", "1", "-n", "20", "-shards", "4"}, &b, os.Stderr); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, b.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("summary depends on shard count:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	checkGolden(t, "sweep.golden", a.Bytes())
+}
+
+// TestCallsProfileSweepGolden pins a sweep over one of the call-heavy
+// profiles, proving calls rotate through the wall.
+func TestCallsProfileSweepGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-seed", "5", "-n", "12", "-profile", "calls-nested"}, &buf, os.Stderr); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "calls=12") {
+		t.Fatalf("call-heavy profile generated call-free programs:\n%s", buf.String())
+	}
+	checkGolden(t, "sweep_calls.golden", buf.Bytes())
+}
+
+// TestBreakLabelingSelfTest drives the wall's fault-injection mode: the
+// deliberately corrupted labeling must be caught (exit 1) and shrunk to a
+// tiny reproducer.
+func TestBreakLabelingSelfTest(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-seed", "1", "-n", "10", "-break-labeling", "-shrink-limit", "1"}, &buf, os.Stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (wall must catch the injected fault):\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kind=theorem") && !strings.Contains(out, "kind=lemma") {
+		t.Fatalf("no oracle failure reported:\n%s", out)
+	}
+	if !strings.Contains(out, "(failures are expected under -break-labeling)") {
+		t.Fatalf("missing self-test footer:\n%s", out)
+	}
+}
+
+// TestListProfiles locks the profile registry listing (new profiles must
+// update this golden deliberately).
+func TestListProfiles(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-list-profiles"}, &buf, os.Stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "profiles.golden", buf.Bytes())
+}
+
+// TestReplayCorpus re-runs the checked-in reproducer corpus through the
+// -replay-corpus path (the CI corpus-replay job's exact entry point).
+func TestReplayCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "proptest", "testdata", "corpus")
+	var buf bytes.Buffer
+	if code := run([]string{"-replay-corpus", dir}, &buf, os.Stderr); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "seed-proc-calls.prog") || !strings.Contains(out, "0 failures") {
+		t.Fatalf("unexpected replay output:\n%s", out)
+	}
+}
+
+// TestFlagAndDriverErrors covers the exit-2 paths: unparseable flags, a
+// bad profile name, a missing corpus directory, and a cancelled sweep.
+func TestFlagAndDriverErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad-flag", []string{"-definitely-not-a-flag"}},
+		{"bad-profile", []string{"-profile", "nope", "-n", "5"}},
+		{"bad-n", []string{"-n", "0"}},
+		{"missing-corpus", []string{"-replay-corpus", filepath.Join(t.TempDir(), "empty")}},
+		{"timeout", []string{"-n", "100000", "-timeout", "1ns"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2 (stdout %q, stderr %q)", code, out.String(), errb.String())
+			}
+		})
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"refidem/internal/callgraph"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
 	"refidem/internal/lang"
@@ -62,10 +64,44 @@ func run(w io.Writer, example, file string, showDeps bool, dot string) error {
 		return nil
 	}
 	fmt.Fprintf(w, "program %s\n\n", p.Name)
+	if len(p.Procs) > 0 {
+		printProcSummaries(w, p)
+	}
 	for _, r := range p.Regions {
 		printRegion(w, p, r, labs[r], showDeps)
 	}
 	return nil
+}
+
+// printProcSummaries renders the bottom-up callgraph summaries: the
+// interprocedural evidence (mod/ref sets, must-write-first effects,
+// affine parameter binding, exit propagation) the labeling of
+// call-containing regions rests on.
+func printProcSummaries(w io.Writer, p *ir.Program) {
+	cg := callgraph.Analyze(p)
+	t := report.NewTable("", "proc", "params", "reads", "writes", "write-first", "affine-params", "may-exit")
+	for _, pr := range p.Procs {
+		sum := cg.Summary(pr)
+		affine := make([]string, 0, len(pr.Params))
+		for _, prm := range pr.Params {
+			if sum.AffineParams[prm] {
+				affine = append(affine, prm)
+			}
+		}
+		t.AddRowf(pr.Name,
+			strings.Join(pr.Params, ","),
+			strings.Join(callgraph.VarNames(sum.Reads), ","),
+			strings.Join(callgraph.VarNames(sum.Writes), ","),
+			strings.Join(callgraph.VarNames(sum.MustWriteFirst), ","),
+			strings.Join(affine, ","),
+			fmt.Sprint(sum.MayExit))
+	}
+	fmt.Fprintln(w, "procedure summaries (bottom-up):")
+	fmt.Fprintln(w, t.String())
+	if cg.HasRecursion() {
+		fmt.Fprintf(w, "recursive cycle: %s (conservative fallback labeling)\n", strings.Join(cg.Cycle(), " -> "))
+	}
+	fmt.Fprintln(w)
 }
 
 func loadProgram(example, file string) (*ir.Program, error) {

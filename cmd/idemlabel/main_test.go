@@ -121,3 +121,14 @@ region main loop k = 0 to 15 {
 		t.Errorf("unexpected output:\n%s", buf.String())
 	}
 }
+
+// TestCallsGolden locks the interprocedural output: the procedure
+// summary table plus the labeling of a region whose references all come
+// from call expansion.
+func TestCallsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", filepath.Join("testdata", "calls.ril"), true, ""); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "calls.golden", buf.Bytes())
+}

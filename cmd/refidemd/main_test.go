@@ -80,6 +80,11 @@ func TestEndpointsGolden(t *testing.T) {
 	}{
 		{"label_fig2.golden", "/v1/label", `{"example": "fig2", "deps": true}`},
 		{"label_fig3.golden", "/v1/label", `{"example": "fig3"}`},
+		// A call-containing program through the full service path: the
+		// labeling must see through the procedure boundary (the region's
+		// references all come from call expansion).
+		{"label_calls.golden", "/v1/label",
+			`{"program": "program svc_calls\nvar a[32]\nvar b[32]\nvar s\nproc bump(x) {\n  a[2 * x] = b[x] + 1\n  s = s + b[x]\n}\nregion r loop i = 0 to 7 {\n  liveout a, s\n  call bump(i)\n}\n"}`},
 		{"simulate_fig2.golden", "/v1/simulate", `{"example": "fig2", "procs": 8, "capacity": 64}`},
 		{"batch_mixed.golden", "/v1/batch", `{"requests": [
 			{"op": "label", "example": "fig1"},

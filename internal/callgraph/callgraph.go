@@ -1,0 +1,544 @@
+// Package callgraph builds the procedure call graph of a program and
+// computes bottom-up procedure summaries: the variables a procedure (and
+// its transitive callees) may read or write, which scalars it must define
+// before reading (the privatization-shaped effect), whether it may
+// request a region exit, and which parameters stay affine through every
+// subscript they reach (the affine parameter binding the dependence
+// analysis relies on).
+//
+// The graph is condensed with Tarjan's strongly-connected-components
+// algorithm; Tarjan emits SCCs in reverse topological order, which is
+// exactly the bottom-up order summaries need (callees before callers).
+// Members of a non-trivial SCC — recursive procedures — are summarized by
+// a one-pass union over the component (the effect sets are monotone), and
+// are flagged Recursive: the inline expansion cannot open them, so
+// consumers (idem.LabelProgram) fall back to conservative labeling.
+package callgraph
+
+import (
+	"sort"
+
+	"refidem/internal/ir"
+)
+
+// Summary is the bottom-up effect summary of one procedure, including the
+// effects of every transitive callee.
+type Summary struct {
+	Proc *ir.Proc
+
+	// Calls lists the direct callees in first-call order (deduplicated).
+	Calls []*ir.Proc
+
+	// Reads and Writes are the variables the procedure may read or write,
+	// transitively through callees.
+	Reads  map[*ir.Var]bool
+	Writes map[*ir.Var]bool
+
+	// MustWriteFirst holds the scalars the procedure's own body defines on
+	// every path before any read — the effect that keeps a caller-side
+	// privatization sound across the call.
+	MustWriteFirst map[*ir.Var]bool
+
+	// MayExit reports that the procedure (or a callee) contains an
+	// ExitRegion, giving every calling region a data-dependent trip count.
+	MayExit bool
+
+	// Recursive marks members of cyclic SCCs; their bodies cannot be
+	// inline-expanded.
+	Recursive bool
+
+	// AffineParams marks parameters whose every use in a subscript — own
+	// body or through call-argument composition into callees — stays
+	// affine, so binding an affine argument yields an affine caller-side
+	// subscript. Parameters of recursive procedures are never marked.
+	AffineParams map[string]bool
+
+	// OwnStmts and OwnRefs count the un-expanded body's statements and
+	// reference occurrences.
+	OwnStmts int
+	OwnRefs  int
+}
+
+// ReadOnly reports whether the procedure reads v without ever writing it
+// (transitively).
+func (s *Summary) ReadOnly(v *ir.Var) bool { return s.Reads[v] && !s.Writes[v] }
+
+// VarNames returns the names in the set, sorted (for deterministic
+// rendering).
+func VarNames(set map[*ir.Var]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analysis is the call graph of one program plus its summaries.
+type Analysis struct {
+	// SCCs holds the condensation in bottom-up (callees-first) order;
+	// each component lists its procedures in declaration order.
+	SCCs [][]*ir.Proc
+
+	summaries map[*ir.Proc]*Summary
+	cycle     []string
+}
+
+// Summary returns the summary of pr, or nil for procedures outside the
+// analyzed program.
+func (a *Analysis) Summary(pr *ir.Proc) *Summary { return a.summaries[pr] }
+
+// HasRecursion reports whether any SCC is cyclic.
+func (a *Analysis) HasRecursion() bool { return a.cycle != nil }
+
+// Cycle returns one recursive cycle of procedure names, or nil.
+func (a *Analysis) Cycle() []string { return a.cycle }
+
+// RegionEffects unions the summaries of every procedure a region calls
+// directly, yielding the call-carried read and write sets of the region
+// (its own direct references are visible in Region.Refs already).
+func (a *Analysis) RegionEffects(r *ir.Region) (reads, writes map[*ir.Var]bool) {
+	reads = make(map[*ir.Var]bool)
+	writes = make(map[*ir.Var]bool)
+	for _, seg := range r.Segments {
+		ir.WalkStmts(seg.Body, func(st ir.Stmt) {
+			c, ok := st.(*ir.Call)
+			if !ok || c.Proc == nil {
+				return
+			}
+			if sum := a.summaries[c.Proc]; sum != nil {
+				for v := range sum.Reads {
+					reads[v] = true
+				}
+				for v := range sum.Writes {
+					writes[v] = true
+				}
+			}
+		})
+	}
+	return reads, writes
+}
+
+// Analyze builds the call graph and the bottom-up summaries.
+func Analyze(p *ir.Program) *Analysis {
+	a := &Analysis{summaries: make(map[*ir.Proc]*Summary, len(p.Procs))}
+	if len(p.Procs) == 0 {
+		return a
+	}
+	order := make(map[*ir.Proc]int, len(p.Procs))
+	for i, pr := range p.Procs {
+		order[pr] = i
+	}
+	edges := make(map[*ir.Proc][]*ir.Proc, len(p.Procs))
+	for _, pr := range p.Procs {
+		edges[pr] = directCallees(p, pr)
+	}
+	a.SCCs = tarjan(p.Procs, edges)
+	for _, scc := range a.SCCs {
+		sort.Slice(scc, func(i, j int) bool { return order[scc[i]] < order[scc[j]] })
+	}
+
+	inSCC := make(map[*ir.Proc]int, len(p.Procs))
+	for i, scc := range a.SCCs {
+		for _, pr := range scc {
+			inSCC[pr] = i
+		}
+	}
+	for i, scc := range a.SCCs {
+		recursive := len(scc) > 1 || selfCalls(p, scc[0])
+		if recursive && a.cycle == nil {
+			a.cycle = p.RecursionCycle()
+		}
+		// Component-wide effect union: direct effects of every member
+		// plus the (already complete) summaries of out-of-component
+		// callees. One pass suffices — the sets are monotone and
+		// intra-component callees contribute exactly the component union.
+		reads := make(map[*ir.Var]bool)
+		writes := make(map[*ir.Var]bool)
+		mayExit := false
+		for _, pr := range scc {
+			dr, dw, exit := directEffects(pr)
+			for v := range dr {
+				reads[v] = true
+			}
+			for v := range dw {
+				writes[v] = true
+			}
+			mayExit = mayExit || exit
+			for _, callee := range edges[pr] {
+				if inSCC[callee] == i {
+					continue
+				}
+				cs := a.summaries[callee]
+				for v := range cs.Reads {
+					reads[v] = true
+				}
+				for v := range cs.Writes {
+					writes[v] = true
+				}
+				mayExit = mayExit || cs.MayExit
+			}
+		}
+		for _, pr := range scc {
+			sum := &Summary{
+				Proc:           pr,
+				Calls:          edges[pr],
+				Reads:          reads,
+				Writes:         writes,
+				MustWriteFirst: mustWriteFirst(pr),
+				MayExit:        mayExit,
+				Recursive:      recursive,
+			}
+			ir.WalkStmts(pr.Body, func(ir.Stmt) { sum.OwnStmts++ })
+			sum.OwnRefs = countOwnRefs(pr)
+			a.summaries[pr] = sum
+		}
+	}
+	// Affine parameter binding runs after every summary exists: a
+	// parameter stays affine only if the callee parameters it flows into
+	// are affine too, and the bottom-up SCC order makes one pass exact
+	// for the acyclic part.
+	for _, scc := range a.SCCs {
+		for _, pr := range scc {
+			a.summaries[pr].AffineParams = a.affineParams(pr)
+		}
+	}
+	return a
+}
+
+// directCallees lists the procedures pr calls directly, deduplicated, in
+// first-call order.
+func directCallees(p *ir.Program, pr *ir.Proc) []*ir.Proc {
+	var out []*ir.Proc
+	seen := make(map[*ir.Proc]bool)
+	ir.WalkStmts(pr.Body, func(st ir.Stmt) {
+		c, ok := st.(*ir.Call)
+		if !ok {
+			return
+		}
+		callee := c.Proc
+		if callee == nil {
+			callee = p.Proc(c.Callee)
+		}
+		if callee != nil && !seen[callee] {
+			seen[callee] = true
+			out = append(out, callee)
+		}
+	})
+	return out
+}
+
+func selfCalls(p *ir.Program, pr *ir.Proc) bool {
+	for _, callee := range directCallees(p, pr) {
+		if callee == pr {
+			return true
+		}
+	}
+	return false
+}
+
+// directEffects collects the variables pr's own body reads and writes and
+// whether it contains an ExitRegion (callees excluded).
+func directEffects(pr *ir.Proc) (reads, writes map[*ir.Var]bool, mayExit bool) {
+	reads = make(map[*ir.Var]bool)
+	writes = make(map[*ir.Var]bool)
+	readExpr := func(e ir.Expr) {
+		for _, ref := range ir.ExprRefs(e) {
+			reads[ref.Var] = true
+		}
+	}
+	ir.WalkStmts(pr.Body, func(st ir.Stmt) {
+		switch s := st.(type) {
+		case *ir.Assign:
+			readExpr(s.RHS)
+			for _, sub := range s.LHS.Subs {
+				readExpr(sub)
+			}
+			writes[s.LHS.Var] = true
+		case *ir.If:
+			readExpr(s.Cond)
+		case *ir.ExitRegion:
+			readExpr(s.Cond)
+			mayExit = true
+		case *ir.Call:
+			// Arguments are load-free index expressions; tolerate
+			// unvalidated programs by folding any stray loads in.
+			for _, a := range s.Args {
+				readExpr(a)
+			}
+		}
+	})
+	return reads, writes, mayExit
+}
+
+func countOwnRefs(pr *ir.Proc) int {
+	n := 0
+	count := func(e ir.Expr) {
+		n += len(ir.ExprRefs(e))
+	}
+	ir.WalkStmts(pr.Body, func(st ir.Stmt) {
+		switch s := st.(type) {
+		case *ir.Assign:
+			count(s.RHS)
+			for _, sub := range s.LHS.Subs {
+				count(sub)
+			}
+			n++ // the write itself
+		case *ir.If:
+			count(s.Cond)
+		case *ir.ExitRegion:
+			count(s.Cond)
+		case *ir.Call:
+			for _, a := range s.Args {
+				count(a)
+			}
+		}
+	})
+	return n
+}
+
+// mustWriteFirst runs a small structured walk over the body: a scalar is
+// in the set when every path through the body writes it before any read.
+// Calls are treated as opaque reads of everything the callee may read —
+// conservative, and cheap enough for a summary.
+func mustWriteFirst(pr *ir.Proc) map[*ir.Var]bool {
+	states := make(map[*ir.Var]*mwState)
+	get := func(v *ir.Var) *mwState {
+		s, ok := states[v]
+		if !ok {
+			s = &mwState{}
+			states[v] = s
+		}
+		return s
+	}
+	var readExpr func(e ir.Expr)
+	readExpr = func(e ir.Expr) {
+		for _, ref := range ir.ExprRefs(e) {
+			s := get(ref.Var)
+			if !s.mustDef {
+				s.exposed = true
+			}
+		}
+	}
+	var walk func(stmts []ir.Stmt)
+	walk = func(stmts []ir.Stmt) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ir.Assign:
+				readExpr(s.RHS)
+				for _, sub := range s.LHS.Subs {
+					readExpr(sub)
+				}
+				if s.LHS.Var.IsScalar() {
+					get(s.LHS.Var).mustDef = true
+				} else {
+					// An element write reads nothing but does not
+					// must-define the aggregate.
+					get(s.LHS.Var)
+				}
+			case *ir.If:
+				readExpr(s.Cond)
+				// Conservative join: treat both arms as conditional —
+				// reads expose unless already must-defined, and defines
+				// do not count as covering.
+				ir.WalkStmts(s.Then, func(st2 ir.Stmt) { condEffects(st2, get) })
+				ir.WalkStmts(s.Else, func(st2 ir.Stmt) { condEffects(st2, get) })
+			case *ir.For:
+				walk(s.Body)
+			case *ir.ExitRegion:
+				readExpr(s.Cond)
+			case *ir.Call:
+				if s.Proc != nil {
+					// Opaque: the callee may read anything it summarizes;
+					// treat those as exposed reads unless already covered.
+					dr, dw, _ := directEffects(s.Proc)
+					for v := range dr {
+						st := get(v)
+						if !st.mustDef {
+							st.exposed = true
+						}
+					}
+					for v := range dw {
+						get(v)
+					}
+				}
+			}
+		}
+	}
+	walk(pr.Body)
+	out := make(map[*ir.Var]bool)
+	for v, s := range states {
+		if v.IsScalar() && s.mustDef && !s.exposed {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// mwState tracks one variable during the mustWriteFirst walk.
+type mwState struct{ mustDef, exposed bool }
+
+// condEffects applies the conservative conditional-arm effect of one
+// statement: any read exposes (unless covered), writes never cover.
+func condEffects(stmt ir.Stmt, get func(*ir.Var) *mwState) {
+	mark := func(e ir.Expr) {
+		for _, ref := range ir.ExprRefs(e) {
+			s := get(ref.Var)
+			if !s.mustDef {
+				s.exposed = true
+			}
+		}
+	}
+	switch s := stmt.(type) {
+	case *ir.Assign:
+		mark(s.RHS)
+		for _, sub := range s.LHS.Subs {
+			mark(sub)
+		}
+		get(s.LHS.Var)
+	case *ir.If:
+		mark(s.Cond)
+	case *ir.ExitRegion:
+		mark(s.Cond)
+	case *ir.Call:
+		for _, a := range s.Args {
+			mark(a)
+		}
+		if s.Proc != nil {
+			dr, _, _ := directEffects(s.Proc)
+			for v := range dr {
+				st := get(v)
+				if !st.mustDef {
+					st.exposed = true
+				}
+			}
+		}
+	}
+}
+
+// affineParams decides which parameters stay affine through every
+// subscript they reach. A parameter fails when it appears in a non-affine
+// subscript of the own body, in a non-affine argument of a nested call,
+// or flows into a callee parameter that itself is not affine. Recursive
+// procedures get the empty set.
+func (a *Analysis) affineParams(pr *ir.Proc) map[string]bool {
+	sum := a.summaries[pr]
+	out := make(map[string]bool, len(pr.Params))
+	if sum.Recursive {
+		return out
+	}
+	bad := make(map[string]bool)
+	checkSub := func(e ir.Expr) {
+		_, affine := ir.AffineOf(e)
+		for _, name := range indexNamesIn(e) {
+			if !affine {
+				bad[name] = true
+			}
+		}
+	}
+	ir.WalkStmts(pr.Body, func(st ir.Stmt) {
+		switch s := st.(type) {
+		case *ir.Assign:
+			for _, sub := range s.LHS.Subs {
+				checkSub(sub)
+			}
+			for _, ref := range ir.ExprRefs(s.RHS) {
+				for _, sub := range ref.Subs {
+					checkSub(sub)
+				}
+			}
+		case *ir.Call:
+			callee := s.Proc
+			for i, arg := range s.Args {
+				_, affine := ir.AffineOf(arg)
+				calleeOK := false
+				if callee != nil && i < len(callee.Params) {
+					if cs := a.summaries[callee]; cs != nil {
+						calleeOK = cs.AffineParams[callee.Params[i]]
+					}
+				}
+				for _, name := range indexNamesIn(arg) {
+					if !affine || !calleeOK {
+						bad[name] = true
+					}
+				}
+			}
+		}
+	})
+	for _, prm := range pr.Params {
+		if !bad[prm] {
+			out[prm] = true
+		}
+	}
+	return out
+}
+
+// indexNamesIn collects the index names mentioned in the expression.
+func indexNamesIn(e ir.Expr) []string {
+	var out []string
+	var walk func(ir.Expr)
+	walk = func(e ir.Expr) {
+		switch x := e.(type) {
+		case *ir.Index:
+			out = append(out, x.Name)
+		case *ir.Bin:
+			walk(x.L)
+			walk(x.R)
+		case *ir.Load:
+			for _, sub := range x.Ref.Subs {
+				walk(sub)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// tarjan computes strongly connected components; emission order is
+// reverse topological (every component is emitted after all components it
+// calls into), i.e. bottom-up for summaries.
+func tarjan(procs []*ir.Proc, edges map[*ir.Proc][]*ir.Proc) [][]*ir.Proc {
+	index := make(map[*ir.Proc]int, len(procs))
+	low := make(map[*ir.Proc]int, len(procs))
+	onStack := make(map[*ir.Proc]bool, len(procs))
+	var stack []*ir.Proc
+	var out [][]*ir.Proc
+	next := 0
+	var strongconnect func(v *ir.Proc)
+	strongconnect = func(v *ir.Proc) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range edges[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*ir.Proc
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range procs {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}

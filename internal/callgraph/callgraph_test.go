@@ -1,0 +1,180 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"refidem/internal/ir"
+	"refidem/internal/lang"
+)
+
+func parse(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSummariesBottomUp(t *testing.T) {
+	p := parse(t, `program p
+var a[32]
+var b[32]
+var s
+var t
+proc leaf(x) {
+  a[x] = b[x] + 1
+}
+proc mid(x) {
+  t = 0
+  call leaf(x)
+  s = t + 1
+}
+region r loop i = 0 to 7 {
+  liveout a, s
+  call mid(i)
+}
+`)
+	cg := Analyze(p)
+	if cg.HasRecursion() {
+		t.Fatalf("unexpected recursion: %v", cg.Cycle())
+	}
+	if len(cg.SCCs) != 2 {
+		t.Fatalf("SCCs = %d, want 2", len(cg.SCCs))
+	}
+	// Bottom-up: leaf before mid.
+	if cg.SCCs[0][0].Name != "leaf" || cg.SCCs[1][0].Name != "mid" {
+		t.Fatalf("SCC order %v/%v, want leaf then mid", cg.SCCs[0][0].Name, cg.SCCs[1][0].Name)
+	}
+	leaf := cg.Summary(p.Proc("leaf"))
+	mid := cg.Summary(p.Proc("mid"))
+	if got := strings.Join(VarNames(leaf.Writes), ","); got != "a" {
+		t.Fatalf("leaf writes %q, want a", got)
+	}
+	if got := strings.Join(VarNames(leaf.Reads), ","); got != "b" {
+		t.Fatalf("leaf reads %q, want b", got)
+	}
+	// mid inherits leaf's effects transitively.
+	if got := strings.Join(VarNames(mid.Writes), ","); got != "a,s,t" {
+		t.Fatalf("mid writes %q, want a,s,t", got)
+	}
+	if got := strings.Join(VarNames(mid.Reads), ","); got != "b,t" {
+		t.Fatalf("mid reads %q, want b,t", got)
+	}
+	if !leaf.ReadOnly(p.Var("b")) || mid.ReadOnly(p.Var("t")) {
+		t.Fatalf("read-only classification wrong")
+	}
+	// t and s are both defined before any read on every path of mid's own
+	// body; b is only read through the callee (not covered).
+	if !mid.MustWriteFirst[p.Var("t")] || !mid.MustWriteFirst[p.Var("s")] {
+		t.Fatalf("mid must-write-first %v, want s and t", mid.MustWriteFirst)
+	}
+	if mid.MustWriteFirst[p.Var("b")] {
+		t.Fatalf("b is read through the callee, not must-written-first")
+	}
+	// Region effects: the region's single call carries mid's summary.
+	reads, writes := cg.RegionEffects(p.Regions[0])
+	if !writes[p.Var("a")] || !writes[p.Var("s")] || !reads[p.Var("b")] {
+		t.Fatalf("region effects reads=%v writes=%v", VarNames(reads), VarNames(writes))
+	}
+}
+
+func TestMayExitPropagates(t *testing.T) {
+	p := parse(t, `program p
+var s
+proc inner(x) {
+  exit if s > x
+}
+proc outer(x) {
+  call inner(x)
+}
+region r loop i = 0 to 7 {
+  liveout s
+  s = s + i
+  call outer(i)
+}
+`)
+	cg := Analyze(p)
+	if !cg.Summary(p.Proc("inner")).MayExit || !cg.Summary(p.Proc("outer")).MayExit {
+		t.Fatalf("MayExit must propagate to callers")
+	}
+	if !p.Regions[0].HasEarlyExit() {
+		t.Fatalf("region must report the call-carried early exit")
+	}
+}
+
+func TestAffineParams(t *testing.T) {
+	p := parse(t, `program p
+var a[64]
+var s
+proc affine(x) {
+  a[2 * x + 1] = 1
+}
+proc square(x) {
+  a[x * x] = 1
+}
+proc chain(x) {
+  call affine(x + 1)
+}
+proc badchain(x) {
+  call square(x)
+}
+region r loop i = 0 to 3 {
+  liveout a
+  call affine(i)
+  call square(i)
+  call chain(i)
+  call badchain(i)
+  s = i
+}
+`)
+	cg := Analyze(p)
+	want := map[string]bool{"affine": true, "square": false, "chain": true, "badchain": false}
+	for name, wantOK := range want {
+		sum := cg.Summary(p.Proc(name))
+		if got := sum.AffineParams["x"]; got != wantOK {
+			t.Errorf("%s: AffineParams[x] = %v, want %v", name, got, wantOK)
+		}
+	}
+}
+
+func TestRecursiveSCC(t *testing.T) {
+	// Mutual recursion is unrepresentable in the surface syntax; build it
+	// directly.
+	p := ir.NewProgram("rec")
+	s := p.AddVar("s")
+	a := p.AddVar("a", 8)
+	f := p.AddProc("f", []string{"x"}, nil)
+	g := p.AddProc("g", []string{"y"}, []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(a, ir.Idx("y")), RHS: ir.C(2)},
+		&ir.Call{Callee: "f", Args: []ir.Expr{ir.Idx("y")}},
+	})
+	f.Body = []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(s), RHS: ir.C(1)},
+		&ir.Call{Callee: "g", Args: []ir.Expr{ir.Idx("x")}},
+	}
+	if err := p.ResolveCalls(); err != nil {
+		t.Fatal(err)
+	}
+	cg := Analyze(p)
+	if !cg.HasRecursion() || cg.Cycle() == nil {
+		t.Fatalf("recursion not detected")
+	}
+	if len(cg.SCCs) != 1 || len(cg.SCCs[0]) != 2 {
+		t.Fatalf("SCCs = %v, want one component of two", cg.SCCs)
+	}
+	for _, pr := range []*ir.Proc{f, g} {
+		sum := cg.Summary(pr)
+		if !sum.Recursive {
+			t.Fatalf("%s not marked recursive", pr.Name)
+		}
+		// The component union carries both procs' effects.
+		if !sum.Writes[s] || !sum.Writes[a] {
+			t.Fatalf("%s writes %v, want s and a", pr.Name, VarNames(sum.Writes))
+		}
+		if len(sum.AffineParams) != 0 {
+			t.Fatalf("recursive proc must not mark affine params")
+		}
+	}
+}

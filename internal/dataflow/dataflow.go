@@ -160,6 +160,10 @@ func walkSegRefs(seg *ir.Segment, f func(*ir.Ref)) {
 				stmts(s.Body)
 			case *ir.ExitRegion:
 				expr(s.Cond)
+			case *ir.Call:
+				// Arguments are load-free; the references live in the
+				// per-callsite expansion.
+				stmts(s.Inlined)
 			}
 		}
 	}
@@ -264,6 +268,11 @@ func (w *walker) walk(stmts []ir.Stmt, states []state) {
 			w.walk(s.Body, states)
 		case *ir.ExitRegion:
 			w.exprReads(s.Cond, states)
+		case *ir.Call:
+			// A call executes its expansion unconditionally at the call
+			// site; arguments carry no loads, so only the expansion
+			// contributes read/write effects.
+			w.walk(s.Inlined, states)
 		}
 	}
 }

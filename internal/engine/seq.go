@@ -13,6 +13,9 @@ import (
 // oracle (Definition 3 compares every execution against it) and the
 // uniprocessor baseline the paper's speedups are relative to.
 func RunSequential(p *ir.Program, cfg Config) (*Result, error) {
+	if err := ir.CheckExecutable(p); err != nil {
+		return nil, err
+	}
 	layout := NewLayout(p, nil, 1)
 	mem := NewMemory(layout, cfg.Seed)
 	hier := specmem.NewHierarchy(1, cfg.Hier)

@@ -75,6 +75,9 @@ func RunSpeculative(p *ir.Program, labelings map[*ir.Region]*idem.Result, cfg Co
 	if cfg.Processors < 1 {
 		return nil, fmt.Errorf("engine: need at least one processor")
 	}
+	if err := ir.CheckExecutable(p); err != nil {
+		return nil, err
+	}
 	layout := NewLayout(p, labelings, cfg.Processors)
 	mem := NewMemory(layout, cfg.Seed)
 	hier := specmem.NewHierarchy(cfg.Processors, cfg.Hier)

@@ -66,7 +66,7 @@ type Summary struct {
 	Checked   int
 	ByProfile map[string]int
 	// Feature tallies over all generated scenarios.
-	CFGRegions, Indirect, Coupled, EarlyExit, Burst, Downto int
+	CFGRegions, Indirect, Coupled, EarlyExit, Burst, Downto, Calls int
 	// Digest fingerprints the exact program sequence: sha256 over the
 	// concatenated program fingerprints in index order.
 	Digest   string
@@ -154,6 +154,7 @@ func RunCtx(ctx context.Context, o Options) (*Summary, error) {
 		tally(sc.EarlyExit, &sum.EarlyExit)
 		tally(sc.WriteBurst, &sum.Burst)
 		tally(sc.Downto, &sum.Downto)
+		tally(sc.Calls, &sum.Calls)
 
 		v := verdicts[i]
 		if v == nil {
@@ -212,8 +213,8 @@ func (s *Summary) Format() string {
 		fmt.Fprintf(&b, " %s=%d", name, s.ByProfile[name])
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "features: cfg=%d indirect=%d coupled=%d exits=%d bursts=%d downto=%d\n",
-		s.CFGRegions, s.Indirect, s.Coupled, s.EarlyExit, s.Burst, s.Downto)
+	fmt.Fprintf(&b, "features: cfg=%d indirect=%d coupled=%d exits=%d bursts=%d downto=%d calls=%d\n",
+		s.CFGRegions, s.Indirect, s.Coupled, s.EarlyExit, s.Burst, s.Downto, s.Calls)
 	for _, f := range s.Failures {
 		fmt.Fprintf(&b, "FAIL [%d] profile=%s seed=%d kind=%s stmts=%d->%d\n",
 			f.Index, f.Profile, f.Seed, f.Kind, f.Stmts, f.ReducedStmts)

@@ -36,9 +36,14 @@ func Shrink(p *ir.Program, stillFailing func(*ir.Program) bool, maxEvals int) *i
 	}
 }
 
-// CountStmts counts every statement node of the program.
+// CountStmts counts every surface statement node of the program: region
+// segment bodies plus procedure bodies (call expansions are derived and
+// not counted).
 func CountStmts(p *ir.Program) int {
 	n := 0
+	for _, pr := range p.Procs {
+		ir.WalkStmts(pr.Body, func(ir.Stmt) { n++ })
+	}
 	for _, r := range p.Regions {
 		for _, seg := range r.Segments {
 			ir.WalkStmts(seg.Body, func(ir.Stmt) { n++ })
@@ -55,6 +60,15 @@ func cloneProgram(p *ir.Program) *ir.Program {
 	vmap := make(map[*ir.Var]*ir.Var, len(p.Vars))
 	for _, v := range p.Vars {
 		vmap[v] = q.AddVar(v.Name, v.Dims...)
+	}
+	pmap := make(map[*ir.Proc]*ir.Proc, len(p.Procs))
+	for _, pr := range p.Procs {
+		npr := q.AddProc(pr.Name, append([]string{}, pr.Params...), ir.CloneStmts(pr.Body))
+		remapStmts(npr.Body, vmap)
+		pmap[pr] = npr
+	}
+	for _, npr := range q.Procs {
+		remapProcs(npr.Body, pmap)
 	}
 	for _, r := range p.Regions {
 		nr := &ir.Region{
@@ -73,6 +87,7 @@ func cloneProgram(p *ir.Program) *ir.Program {
 				ns.Branch = ir.CloneExpr(seg.Branch)
 			}
 			remapStmts(ns.Body, vmap)
+			remapProcs(ns.Body, pmap)
 			ns.Branch = remapExpr(ns.Branch, vmap)
 			nr.Segments = append(nr.Segments, ns)
 		}
@@ -80,6 +95,25 @@ func cloneProgram(p *ir.Program) *ir.Program {
 		q.AddRegion(nr)
 	}
 	return q
+}
+
+// remapProcs repoints every Call's resolved procedure onto the clone's
+// procedure table.
+func remapProcs(stmts []ir.Stmt, pmap map[*ir.Proc]*ir.Proc) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ir.If:
+			remapProcs(s.Then, pmap)
+			remapProcs(s.Else, pmap)
+		case *ir.For:
+			remapProcs(s.Body, pmap)
+		case *ir.Call:
+			if np, ok := pmap[s.Proc]; ok {
+				s.Proc = np
+			}
+			s.Inlined = nil
+		}
+	}
 }
 
 func cloneSet(m map[string]bool) map[string]bool {
@@ -109,6 +143,10 @@ func remapStmts(stmts []ir.Stmt, vmap map[*ir.Var]*ir.Var) {
 			remapStmts(s.Body, vmap)
 		case *ir.ExitRegion:
 			s.Cond = remapExpr(s.Cond, vmap)
+		case *ir.Call:
+			for i, a := range s.Args {
+				s.Args[i] = remapExpr(a, vmap)
+			}
 		}
 	}
 }
@@ -230,6 +268,19 @@ func applicableEdits(st ir.Stmt) []stmtEdit {
 				return nil, false
 			})
 		}
+	case *ir.Call:
+		// Splice the call's expansion in place of the call: the program
+		// keeps failing iff the failure did not depend on the call
+		// boundary itself, and the now-call-free statements open up the
+		// ordinary statement reductions.
+		if len(s.Inlined) > 0 {
+			edits = append(edits, func(st ir.Stmt) ([]ir.Stmt, bool) {
+				if s, ok := st.(*ir.Call); ok && len(s.Inlined) > 0 {
+					return ir.CloneStmts(s.Inlined), true
+				}
+				return nil, false
+			})
+		}
 	}
 	return edits
 }
@@ -320,6 +371,40 @@ func candidates(p *ir.Program) []*ir.Program {
 				}
 			})
 		}
+	}
+	// Drop procedures nothing calls anymore (directly from a region, or
+	// transitively through a still-reachable procedure). The stale
+	// procedure-name cache this leaves behind is harmless: dropped
+	// procedures have no remaining call sites to resolve.
+	if len(p.Procs) > 0 {
+		emit(func(c *ir.Program) bool {
+			reach := make(map[*ir.Proc]bool)
+			var mark func(stmts []ir.Stmt)
+			mark = func(stmts []ir.Stmt) {
+				ir.WalkStmts(stmts, func(st ir.Stmt) {
+					if call, ok := st.(*ir.Call); ok && call.Proc != nil && !reach[call.Proc] {
+						reach[call.Proc] = true
+						mark(call.Proc.Body)
+					}
+				})
+			}
+			for _, r := range c.Regions {
+				for _, seg := range r.Segments {
+					mark(seg.Body)
+				}
+			}
+			var keep []*ir.Proc
+			for _, pr := range c.Procs {
+				if reach[pr] {
+					keep = append(keep, pr)
+				}
+			}
+			if len(keep) == len(c.Procs) {
+				return false
+			}
+			c.Procs = keep
+			return true
+		})
 	}
 	// Drop variables no reference uses anymore.
 	emit(func(c *ir.Program) bool {

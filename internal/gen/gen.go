@@ -75,6 +75,19 @@ type Config struct {
 	// Subs weights the subscript classes.
 	Subs SubscriptMix
 
+	// Procs declares that many procedures before the regions; their
+	// bodies are generated with the same statement grammar (parameters in
+	// scope as bounded index names). 0 disables procedures.
+	Procs int
+	// MaxParams bounds the per-procedure parameter count (each procedure
+	// rolls 0..MaxParams parameters).
+	MaxParams int
+	// CallPct is the percentage chance a statement slot becomes a
+	// procedure call (region bodies and procedure bodies alike; a
+	// procedure can only call procedures generated before it, so the
+	// call graph is acyclic by construction).
+	CallPct int
+
 	// PrivateScalars adds that many scalars which are written (defined)
 	// at the top of every segment body and declared private, exercising
 	// the privatization category soundly: every use is preceded by the
@@ -127,10 +140,13 @@ type Scenario struct {
 	EarlyExit  bool
 	WriteBurst bool
 	Downto     bool
+	Calls      bool
 
 	PrivateScalars int
 	ReadOnlyArrays int
-	LiveOut        int
+	// Procs counts the declared procedures.
+	Procs   int
+	LiveOut int
 }
 
 // String renders a one-line self-description.
@@ -147,6 +163,7 @@ func (s *Scenario) String() string {
 	mark(s.EarlyExit, "exit")
 	mark(s.WriteBurst, "burst")
 	mark(s.Downto, "downto")
+	mark(s.Calls, "calls")
 	mark(s.PrivateScalars > 0, "private")
 	mark(s.ReadOnlyArrays > 0, "readonly")
 	return fmt.Sprintf("seed=%d profile=%s regions=%d stmts=%d refs=%d liveout=%d%s",
@@ -168,6 +185,8 @@ type gen struct {
 	privates []*ir.Var // declared-private scalars (def-before-use)
 	arrays   []*ir.Var // writable arrays
 	roArrays []*ir.Var // read-only arrays
+	procs    []*ir.Proc
+	paramMax int // inclusive value bound callers guarantee per argument
 	depth    int
 	sc       *Scenario
 }
@@ -228,6 +247,15 @@ func generate(seed int64, cfg Config, profile string) *Scenario {
 		dim := cfg.MaxIters*2 + g.rng.Intn(cfg.MaxArrayDim)
 		g.roArrays = append(g.roArrays, g.p.AddVar(fmt.Sprintf("r%d", i), dim))
 	}
+	if cfg.Procs > 0 {
+		// Parameters behave like an extra loop index bounded by the same
+		// iteration range, so the existing in-bounds subscript machinery
+		// covers them; callers must pass arguments within [0, paramMax].
+		g.paramMax = cfg.MaxIters - 1
+		for i := 0; i < cfg.Procs; i++ {
+			g.genProc(i)
+		}
+	}
 	for ri := 0; ri < cfg.Regions; ri++ {
 		var r *ir.Region
 		if g.pct(cfg.CFGPct) {
@@ -265,7 +293,72 @@ func generate(seed int64, cfg Config, profile string) *Scenario {
 	}
 	sc.PrivateScalars = len(g.privates)
 	sc.ReadOnlyArrays = len(g.roArrays)
+	sc.Procs = len(g.p.Procs)
 	return sc
+}
+
+// genProc generates one procedure. Bodies use the shared statement
+// grammar with the parameters in scope as bounded indices; a procedure
+// may call any procedure generated before it (the call graph is acyclic
+// by construction). Early exits inside procedures are only generated
+// when every region is a loop region (CFGPct == 0), matching where the
+// top-level grammar emits them.
+func (g *gen) genProc(i int) {
+	nparams := 0
+	if g.cfg.MaxParams > 0 {
+		nparams = g.rng.Intn(g.cfg.MaxParams + 1)
+	}
+	params := make([]string, nparams)
+	indices := make([]idxInfo, nparams)
+	for j := range params {
+		params[j] = fmt.Sprintf("q%d", j)
+		indices[j] = idxInfo{name: params[j], max: g.paramMax}
+	}
+	allowExit := g.cfg.ExitPct > 0 && g.cfg.CFGPct == 0
+	n := 1 + g.rng.Intn(maxOf(1, g.cfg.MaxStmts/2))
+	body := g.stmts(n, indices, allowExit)
+	pr := g.p.AddProc(fmt.Sprintf("f%d", i), params, body)
+	g.procs = append(g.procs, pr)
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// call emits a call to a random generated procedure with arguments that
+// stay within [0, paramMax] for every in-scope index value, so callee
+// subscripts built from parameters remain in bounds.
+func (g *gen) call(indices []idxInfo) ir.Stmt {
+	pr := g.procs[g.rng.Intn(len(g.procs))]
+	args := make([]ir.Expr, len(pr.Params))
+	for i := range args {
+		args[i] = g.boundedArg(indices)
+	}
+	g.sc.Calls = true
+	return &ir.Call{Callee: pr.Name, Args: args, Proc: pr}
+}
+
+// boundedArg builds an affine argument expression with value range
+// within [0, paramMax]: a constant, an in-scope index that fits, or
+// index + offset with the offset capped by the remaining headroom.
+func (g *gen) boundedArg(indices []idxInfo) ir.Expr {
+	var fits []idxInfo
+	for _, ix := range indices {
+		if ix.max <= g.paramMax {
+			fits = append(fits, ix)
+		}
+	}
+	if len(fits) == 0 || g.rng.Intn(4) == 0 {
+		return ir.C(int64(g.rng.Intn(g.paramMax + 1)))
+	}
+	ix := fits[g.rng.Intn(len(fits))]
+	if room := g.paramMax - ix.max; room > 0 && g.rng.Intn(2) == 0 {
+		return ir.AddE(ir.Idx(ix.name), ir.C(int64(g.rng.Intn(room+1))))
+	}
+	return ir.Idx(ix.name)
 }
 
 // pct rolls a percentage chance.
@@ -381,6 +474,8 @@ func (g *gen) stmts(n int, indices []idxInfo, allowExit bool) []ir.Stmt {
 		case roll < g.cfg.CondPct+g.cfg.LoopPct+g.cfg.BurstPct+g.cfg.ExitPct && allowExit:
 			out = append(out, &ir.ExitRegion{Cond: g.expr(indices, 1)})
 			g.sc.EarlyExit = true
+		case roll < g.cfg.CondPct+g.cfg.LoopPct+g.cfg.BurstPct+g.cfg.ExitPct+g.cfg.CallPct && len(g.procs) > 0:
+			out = append(out, g.call(indices))
 		default:
 			out = append(out, g.assign(indices))
 		}

@@ -132,6 +132,38 @@ var profiles = []Profile{
 			return c
 		}(),
 	},
+	{
+		Name: "calls",
+		Desc: "procedure calls with affine parameter binding",
+		Cfg: func() Config {
+			c := Default()
+			c.Procs, c.MaxParams, c.CallPct = 2, 2, 25
+			c.ExitPct = 0
+			return c
+		}(),
+	},
+	{
+		Name: "calls-nested",
+		Desc: "nested call chains: procs calling earlier procs",
+		Cfg: func() Config {
+			c := Default()
+			c.Procs, c.MaxParams, c.CallPct = 4, 2, 35
+			c.MaxStmts = 7
+			c.CFGPct, c.ExitPct = 0, 0
+			return c
+		}(),
+	},
+	{
+		Name: "calls-mixed",
+		Desc: "calls mixed with early exits, bursts and indirect traffic",
+		Cfg: func() Config {
+			c := Default()
+			c.Procs, c.MaxParams, c.CallPct = 3, 1, 20
+			c.CFGPct, c.ExitPct, c.BurstPct = 0, 8, 10
+			c.Subs = SubscriptMix{Affine: 4, Indirect: 2, Coupled: 1}
+			return c
+		}(),
+	},
 }
 
 // Profiles returns the registry in rotation order.

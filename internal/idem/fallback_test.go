@@ -1,0 +1,63 @@
+package idem
+
+import (
+	"testing"
+
+	"refidem/internal/ir"
+)
+
+// TestRecursiveFallback: a program with a recursive call graph (only
+// constructible programmatically — the parser rejects it) must label
+// through the conservative interprocedural fallback: writes and reads of
+// possibly-written variables stay speculative, reads of globally
+// unwritten variables are idempotent read-only, and CheckTheorems accepts
+// the fallback result.
+func TestRecursiveFallback(t *testing.T) {
+	p := ir.NewProgram("rec")
+	s := p.AddVar("s")
+	ro := p.AddVar("ro", 16)
+	f := p.AddProc("f", []string{"x"}, nil)
+	f.Body = []ir.Stmt{
+		&ir.Assign{LHS: ir.Wr(s), RHS: ir.C(1)},
+		&ir.Call{Callee: "f", Args: []ir.Expr{ir.Idx("x")}},
+	}
+	r := &ir.Region{
+		Name: "r", Kind: ir.LoopRegion, Index: "i", From: 0, To: 3, Step: 1,
+		Segments: []*ir.Segment{{ID: 0, Body: []ir.Stmt{
+			// Direct refs: a read of the never-written array and a write
+			// of s (also written inside the recursive callee).
+			&ir.Assign{LHS: ir.Wr(s), RHS: ir.Rd(ro, ir.Idx("i"))},
+			&ir.Call{Callee: "f", Args: []ir.Expr{ir.Idx("i")}},
+		}}},
+	}
+	p.AddRegion(r)
+	if err := p.ResolveCalls(); err != nil {
+		t.Fatal(err)
+	}
+	r.Finalize()
+	labs := LabelProgram(p)
+	res := labs[r]
+	if !res.Fallback {
+		t.Fatalf("expected fallback labeling for a recursive program")
+	}
+	for _, ref := range r.Refs {
+		want := Speculative
+		if ref.Var == ro && ref.Access == ir.Read {
+			want = Idempotent
+		}
+		if got := res.Label(ref); got != want {
+			t.Errorf("ref %v: label %v, want %v", ref, got, want)
+		}
+		if ref.Var == ro && res.Category(ref) != CatReadOnly {
+			t.Errorf("ref %v: category %v, want read-only", ref, res.Category(ref))
+		}
+	}
+	if errs := res.CheckTheorems(); len(errs) > 0 {
+		t.Fatalf("CheckTheorems on fallback: %v", errs)
+	}
+	// The same program is analyzable but not executable: the engines must
+	// refuse with an error (not a compiler panic).
+	if err := ir.CheckExecutable(p); err == nil {
+		t.Fatalf("recursive program reported executable")
+	}
+}

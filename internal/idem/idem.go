@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"refidem/internal/callgraph"
 	"refidem/internal/cfg"
 	"refidem/internal/dataflow"
 	"refidem/internal/deps"
@@ -93,6 +94,13 @@ type Result struct {
 	// FullyIndependent reports that the region carries no cross-segment
 	// data or control dependences (Lemma 7 applies).
 	FullyIndependent bool
+	// Fallback marks results from the conservative interprocedural
+	// fallback used when the program's call graph is recursive and
+	// therefore cannot be inline-expanded: only reads of variables the
+	// whole program (per callgraph summaries) never writes are labeled
+	// idempotent, and the analysis artifacts (Info, Deps, RFW, Graph) are
+	// nil.
+	Fallback bool
 
 	Info  *dataflow.RegionInfo
 	Deps  *deps.Analysis
@@ -145,10 +153,56 @@ func LabelProgramConservative(p *ir.Program) map[*ir.Region]*Result {
 }
 
 func labelProgram(p *ir.Program, conservative bool) map[*ir.Region]*Result {
+	// Recursive call graphs cannot be inline-expanded, so the region
+	// reference sets are incomplete; fall back to summary-driven
+	// conservative labels instead of mislabeling. (Validate rejects such
+	// programs, so this path only serves direct API users.)
+	if len(p.Procs) > 0 && p.RecursionCycle() != nil {
+		return fallbackLabels(p, callgraph.Analyze(p))
+	}
 	infos := dataflow.AnalyzeProgram(p)
 	out := make(map[*ir.Region]*Result, len(p.Regions))
 	for _, r := range p.Regions {
 		out[r] = labelRegion(r, infos[r], conservative)
+	}
+	return out
+}
+
+// fallbackLabels is the conservative interprocedural fallback: the
+// bottom-up callgraph summaries decide which variables the program may
+// write anywhere (directly or through any call chain, recursive ones
+// included — effect sets of cyclic SCCs are still sound unions); reads of
+// variables never written are idempotent read-only references, and every
+// other reference stays speculative.
+func fallbackLabels(p *ir.Program, cg *callgraph.Analysis) map[*ir.Region]*Result {
+	written := make(map[*ir.Var]bool)
+	for _, r := range p.Regions {
+		for _, ref := range r.Refs {
+			if ref.Access == ir.Write {
+				written[ref.Var] = true
+			}
+		}
+		_, w := cg.RegionEffects(r)
+		for v := range w {
+			written[v] = true
+		}
+	}
+	out := make(map[*ir.Region]*Result, len(p.Regions))
+	for _, r := range p.Regions {
+		n := len(r.Refs)
+		res := &Result{
+			Region:   r,
+			Fallback: true,
+			labels:   make([]Label, n),
+			cats:     make([]Category, n),
+		}
+		for _, ref := range r.Refs {
+			if ref.Access == ir.Read && !written[ref.Var] {
+				res.labels[ref.ID] = Idempotent
+				res.cats[ref.ID] = CatReadOnly
+			}
+		}
+		out[r] = res
 	}
 	return out
 }
@@ -338,6 +392,18 @@ func (res *Result) IdempotentFraction() (total float64, byCat map[Category]float
 func (res *Result) CheckTheorems() []error {
 	var errs []error
 	r := res.Region
+	if res.Fallback {
+		// The conservative fallback carries no per-reference analysis to
+		// re-derive; the only obligation is soundness of what it did
+		// label: idempotent references must be reads (of globally
+		// unwritten variables — writes always stay speculative).
+		for _, ref := range r.Refs {
+			if res.labels[ref.ID] == Idempotent && ref.Access != ir.Read {
+				errs = append(errs, fmt.Errorf("fallback labeled non-read %v idempotent", ref))
+			}
+		}
+		return errs
+	}
 	if res.FullyIndependent {
 		// Lemma 7: everything idempotent; and the precondition must hold.
 		for _, d := range res.Deps.All {

@@ -48,6 +48,14 @@ func CloneStmts(stmts []Stmt) []Stmt {
 			})
 		case *ExitRegion:
 			out = append(out, &ExitRegion{Cond: CloneExpr(s.Cond)})
+		case *Call:
+			args := make([]Expr, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = CloneExpr(a)
+			}
+			// The resolved Proc is shared (like Vars); the per-callsite
+			// expansion is derived state and is rebuilt by Finalize.
+			out = append(out, &Call{Callee: s.Callee, Args: args, Proc: s.Proc})
 		default:
 			panic("ir: unknown statement in CloneStmts")
 		}
@@ -78,6 +86,13 @@ func SubstituteIndex(stmts []Stmt, name string, repl Expr) {
 			SubstituteIndex(s.Body, name, repl)
 		case *ExitRegion:
 			s.Cond = substExpr(s.Cond, name, repl)
+		case *Call:
+			for i, a := range s.Args {
+				s.Args[i] = substExpr(a, name, repl)
+			}
+			// The expansion embeds the old argument values; Finalize
+			// rebuilds it from the substituted ones.
+			s.Inlined = nil
 		}
 	}
 }

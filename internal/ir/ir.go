@@ -256,13 +256,16 @@ type Annotations struct {
 	LiveOut map[string]bool
 }
 
-// Program is a sequence of regions over a shared variable table.
+// Program is a sequence of regions over a shared variable table, plus the
+// procedures the regions may call (see proc.go).
 type Program struct {
 	Name    string
 	Vars    []*Var
+	Procs   []*Proc
 	Regions []*Region
 
-	byName map[string]*Var
+	byName     map[string]*Var
+	procByName map[string]*Proc
 }
 
 // NewProgram returns an empty program with the given name.
@@ -345,12 +348,18 @@ func (r *Region) Seg(id int) *Segment {
 
 // Finalize numbers every reference of the region (IDs and textual
 // positions), records each reference's loop/conditional context, and sorts
-// r.Refs by ID. It must be called once after the region body is complete
-// and before any analysis runs. Finalize is idempotent.
+// r.Refs by ID. Calls are expanded first: each resolved Call gets a fresh
+// per-callsite Inlined body (see proc.go) whose references are numbered in
+// place of the call, so every downstream analysis sees through procedure
+// boundaries. Calls inside a recursive cycle are left unexpanded
+// (Validate rejects such programs). It must be called once after the
+// region body is complete and before any analysis runs. Finalize is
+// idempotent.
 func (r *Region) Finalize() {
 	r.Refs = r.Refs[:0]
 	id := 0
 	loopID := 0
+	var expanding map[string]bool
 	for _, seg := range r.Segments {
 		pos := 0
 		var walk func(stmts []Stmt, loops []LoopInfo, cond bool)
@@ -382,6 +391,27 @@ func (r *Region) Finalize() {
 					for _, ref := range ExprRefs(s.Cond) {
 						r.number(ref, seg.ID, &id, &pos, loops, cond)
 					}
+				case *Call:
+					// Arguments are load-free, so the call itself
+					// contributes no references; the expansion does.
+					s.Inlined = nil
+					if s.Proc == nil || expanding[s.Proc.Name] {
+						continue
+					}
+					scope := make(map[string]bool, len(loops)+1)
+					if r.Kind == LoopRegion && r.Index != "" {
+						scope[r.Index] = true
+					}
+					for _, li := range loops {
+						scope[li.Index] = true
+					}
+					s.Inlined = expandCall(s, scope)
+					if expanding == nil {
+						expanding = make(map[string]bool)
+					}
+					expanding[s.Proc.Name] = true
+					walk(s.Inlined, loops, cond)
+					delete(expanding, s.Proc.Name)
 				}
 			}
 		}
@@ -407,18 +437,48 @@ func (r *Region) number(ref *Ref, segID int, id, pos *int, loops []LoopInfo, con
 	r.Refs = append(r.Refs, ref)
 }
 
-// HasEarlyExit reports whether any statement of the region is an
-// ExitRegion, which makes the region's trip count data dependent.
+// HasEarlyExit reports whether any statement of the region — including
+// statements reached through procedure calls — is an ExitRegion, which
+// makes the region's trip count data dependent. The walk is allocation
+// free (it sits on the labeling hot path).
 func (r *Region) HasEarlyExit() bool {
-	found := false
 	for _, seg := range r.Segments {
-		WalkStmts(seg.Body, func(s Stmt) {
-			if _, ok := s.(*ExitRegion); ok {
-				found = true
-			}
-		})
+		if stmtsHaveExit(seg.Body, 0) {
+			return true
+		}
 	}
-	return found
+	return false
+}
+
+// stmtsHaveExit is the allocation-free exit scan behind HasEarlyExit. The
+// depth cap bounds the unexpanded-callee walk on (invalid) recursive
+// programs.
+func stmtsHaveExit(stmts []Stmt, depth int) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ExitRegion:
+			return true
+		case *If:
+			if stmtsHaveExit(s.Then, depth) || stmtsHaveExit(s.Else, depth) {
+				return true
+			}
+		case *For:
+			if stmtsHaveExit(s.Body, depth) {
+				return true
+			}
+		case *Call:
+			if s.Inlined != nil {
+				if stmtsHaveExit(s.Inlined, depth) {
+					return true
+				}
+			} else if s.Proc != nil && depth < 64 {
+				if stmtsHaveExit(s.Proc.Body, depth+1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // WalkStmts visits every statement in the list, depth first.

@@ -22,6 +22,11 @@ func (p *Program) Format() string {
 			fmt.Fprintf(&b, "var %s[%s]\n", v.Name, strings.Join(dims, ","))
 		}
 	}
+	for _, pr := range p.Procs {
+		fmt.Fprintf(&b, "proc %s(%s) {\n", pr.Name, strings.Join(pr.Params, ", "))
+		writeStmts(&b, pr.Body, "  ")
+		b.WriteString("}\n")
+	}
 	for _, r := range p.Regions {
 		b.WriteString(r.Format())
 	}
@@ -119,6 +124,12 @@ func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
 			fmt.Fprintf(b, "%s}\n", indent)
 		case *ExitRegion:
 			fmt.Fprintf(b, "%sexit if %s\n", indent, s.Cond.String())
+		case *Call:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(b, "%scall %s(%s)\n", indent, s.Callee, strings.Join(args, ", "))
 		}
 	}
 }

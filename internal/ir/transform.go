@@ -81,7 +81,7 @@ func cloneAnn(a Annotations) Annotations {
 // re-blocked by the factor (other regions are cloned unchanged). The
 // variable table is shared with the original program.
 func BlockProgram(p *Program, block int) (*Program, error) {
-	out := &Program{Name: p.Name, Vars: p.Vars}
+	out := &Program{Name: p.Name, Vars: p.Vars, Procs: p.Procs}
 	for _, r := range p.Regions {
 		if r.Kind != LoopRegion {
 			return nil, fmt.Errorf("ir: BlockProgram supports loop regions only (region %q)", r.Name)

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Validate checks structural invariants of the program and returns the
@@ -21,6 +22,22 @@ func (p *Program) Validate() error {
 				return fmt.Errorf("ir: variable %q: non-positive dimension %d", v.Name, d)
 			}
 		}
+	}
+	procNames := make(map[string]bool)
+	for _, pr := range p.Procs {
+		if pr.Name == "" {
+			return fmt.Errorf("ir: unnamed procedure")
+		}
+		if procNames[pr.Name] {
+			return fmt.Errorf("ir: duplicate procedure %q", pr.Name)
+		}
+		procNames[pr.Name] = true
+		if err := p.validateProc(pr); err != nil {
+			return fmt.Errorf("procedure %q: %w", pr.Name, err)
+		}
+	}
+	if cyc := p.RecursionCycle(); cyc != nil {
+		return fmt.Errorf("ir: recursive procedure call cycle: %s", strings.Join(cyc, " -> "))
 	}
 	names := make(map[string]bool)
 	for _, r := range p.Regions {
@@ -157,11 +174,81 @@ func (p *Program) validateStmts(r *Region, stmts []Stmt, indices map[string]bool
 			if err := p.validateExpr(s.Cond, indices); err != nil {
 				return err
 			}
+		case *Call:
+			if err := p.validateCall(r, s, indices); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("ir: unknown statement %T", st)
 		}
 	}
 	return nil
+}
+
+// validateProc checks one procedure: distinct parameter names that do not
+// collide with program variables (a bare name inside the body must
+// resolve unambiguously), and a valid body with the parameters in scope
+// as index names.
+func (p *Program) validateProc(pr *Proc) error {
+	seen := make(map[string]bool, len(pr.Params))
+	indices := make(map[string]bool, len(pr.Params))
+	for _, prm := range pr.Params {
+		if prm == "" {
+			return fmt.Errorf("ir: empty parameter name")
+		}
+		if seen[prm] {
+			return fmt.Errorf("ir: duplicate parameter %q", prm)
+		}
+		seen[prm] = true
+		if p.Var(prm) != nil {
+			return fmt.Errorf("ir: parameter %q collides with a variable", prm)
+		}
+		indices[prm] = true
+	}
+	return p.validateStmts(nil, pr.Body, indices)
+}
+
+// validateCall checks one call statement: the callee resolves into the
+// program's procedure table, arity matches, arguments are load-free index
+// expressions, and — after Finalize — the expansion itself is valid.
+func (p *Program) validateCall(r *Region, s *Call, indices map[string]bool) error {
+	pr := s.Proc
+	if pr == nil {
+		return fmt.Errorf("ir: call to unknown procedure %q", s.Callee)
+	}
+	if p.Proc(s.Callee) != pr {
+		return fmt.Errorf("ir: call to %q resolves outside the program's procedure table", s.Callee)
+	}
+	if len(s.Args) != len(pr.Params) {
+		return fmt.Errorf("ir: call to %q: %d arguments for %d parameters", s.Callee, len(s.Args), len(pr.Params))
+	}
+	for i, a := range s.Args {
+		if err := p.validateExpr(a, indices); err != nil {
+			return err
+		}
+		if HasLoad(a) {
+			return fmt.Errorf("ir: call to %q: argument %d reads memory (arguments must be index expressions)", s.Callee, i+1)
+		}
+	}
+	if s.Inlined != nil {
+		if err := p.validateStmts(r, s.Inlined, indices); err != nil {
+			return fmt.Errorf("inlined call to %q: %w", s.Callee, err)
+		}
+	}
+	return nil
+}
+
+// HasLoad reports whether the expression contains a memory load. Call
+// arguments must be load-free (the front end and Validate both enforce
+// it): substitution then preserves by-value semantics and affine forms.
+func HasLoad(e Expr) bool {
+	switch x := e.(type) {
+	case *Load:
+		return true
+	case *Bin:
+		return HasLoad(x.L) || HasLoad(x.R)
+	}
+	return false
 }
 
 func (p *Program) validateExpr(e Expr, indices map[string]bool) error {

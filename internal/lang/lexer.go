@@ -6,8 +6,9 @@
 //
 // Grammar (EBNF):
 //
-//	program  = "program" ident { decl } { region } .
+//	program  = "program" ident { decl } { proc } { region } .
 //	decl     = "var" ident [ "[" int { "," int } "]" ] .
+//	proc     = "proc" ident "(" [ ident { "," ident } ] ")" "{" { stmt } "}" .
 //	region   = "region" ident ( loopHead | "cfg" ) "{" { ann } body "}" .
 //	loopHead = "loop" ident "=" range .
 //	range    = int ( "to" | "downto" ) int [ "step" int ] .
@@ -19,11 +20,18 @@
 //	stmt     = lvalue "=" expr
 //	         | "if" expr "{" { stmt } "}" [ "else" "{" { stmt } "}" ]
 //	         | "for" ident "=" range "{" { stmt } "}"
-//	         | "exit" "if" expr .
+//	         | "exit" "if" expr
+//	         | "call" ident "(" [ expr { "," expr } ] ")" .
 //	lvalue   = ident [ "[" expr { "," expr } "]" ] .
 //
 // Expressions use Go-like precedence: ||, &&, comparisons, additive,
 // multiplicative, unary minus, primary.
+//
+// Procedures are declared before regions and may call only procedures
+// already declared (plus themselves, which Validate then rejects as
+// recursion — the call graph must be acyclic). Parameters are by-value
+// integers in scope as index names inside the body; call arguments are
+// index expressions and must not read memory.
 package lang
 
 import (

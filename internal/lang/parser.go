@@ -102,6 +102,11 @@ func (p *parser) program() (*ir.Program, error) {
 			return nil, err
 		}
 	}
+	for p.tok.text == "proc" {
+		if err := p.procDecl(); err != nil {
+			return nil, err
+		}
+	}
 	for p.tok.text == "region" {
 		if err := p.region(); err != nil {
 			return nil, err
@@ -151,6 +156,116 @@ func (p *parser) varDecl() error {
 	}
 	p.prog.AddVar(name, dims...)
 	return nil
+}
+
+// procDecl parses "proc name(p1, p2) { stmts }". The procedure is
+// registered before its body is parsed, so a self-call resolves (and is
+// then rejected by Validate's recursion check with the cycle spelled
+// out); calls to procedures declared later are unknown-procedure errors,
+// which keeps mutual recursion unrepresentable at the syntax level.
+func (p *parser) procDecl() error {
+	if err := p.expect("proc"); err != nil {
+		return err
+	}
+	nameTok := p.tok
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if p.prog.Proc(name) != nil {
+		return fmt.Errorf("%d:%d: procedure %q redeclared", nameTok.line, nameTok.col, name)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var params []string
+	seen := map[string]bool{}
+	for p.tok.text != ")" {
+		if len(params) > 0 {
+			if err := p.expect(","); err != nil {
+				return err
+			}
+		}
+		prmTok := p.tok
+		prm, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if seen[prm] {
+			return fmt.Errorf("%d:%d: duplicate parameter %q", prmTok.line, prmTok.col, prm)
+		}
+		if p.prog.Var(prm) != nil {
+			return fmt.Errorf("%d:%d: parameter %q shadows variable %q", prmTok.line, prmTok.col, prm, prm)
+		}
+		seen[prm] = true
+		params = append(params, prm)
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	pr := p.prog.AddProc(name, params, nil)
+	p.indices = map[string]bool{}
+	for _, prm := range params {
+		p.indices[prm] = true
+	}
+	body, err := p.stmts()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("}"); err != nil {
+		return err
+	}
+	pr.Body = body
+	return nil
+}
+
+// callStmt parses "call name(args)" with the callee, arity and
+// load-free-argument checks done here for precise positions.
+func (p *parser) callStmt() (ir.Stmt, error) {
+	callTok := p.tok
+	if err := p.expect("call"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pr := p.prog.Proc(name)
+	if pr == nil {
+		return nil, fmt.Errorf("%d:%d: call to unknown procedure %q", callTok.line, callTok.col, name)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var args []ir.Expr
+	for p.tok.text != ")" {
+		if len(args) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		argTok := p.tok
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if ir.HasLoad(a) {
+			return nil, fmt.Errorf("%d:%d: argument %d to %q must not read memory (call arguments are index expressions)",
+				argTok.line, argTok.col, len(args)+1, name)
+		}
+		args = append(args, a)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(args) != len(pr.Params) {
+		return nil, fmt.Errorf("%d:%d: procedure %q takes %d arguments, got %d",
+			callTok.line, callTok.col, name, len(pr.Params), len(args))
+	}
+	return &ir.Call{Callee: name, Args: args, Proc: pr}, nil
 }
 
 // parseRange parses "<int> to|downto <int> [step <int>]" and returns
@@ -460,6 +575,12 @@ func (p *parser) stmts() ([]ir.Stmt, error) {
 				return nil, err
 			}
 			out = append(out, &ir.ExitRegion{Cond: cond})
+		case "call":
+			st, err := p.callStmt()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
 		default:
 			if p.tok.kind != tokIdent {
 				return out, nil

@@ -1,0 +1,229 @@
+package lang
+
+import (
+	"testing"
+
+	"refidem/internal/ir"
+)
+
+const procSrc = `program demo
+var a[32]
+var b[32]
+var s
+proc add(x, y) {
+  a[x] = b[y] + 1
+  for j = 0 to 2 {
+    s = s + a[x + j]
+  }
+}
+proc twice(x) {
+  call add(x, x)
+  call add(x + 1, x)
+}
+region r0 loop i = 0 to 7 {
+  liveout a, s
+  call twice(i * 2)
+  b[i] = s
+}
+`
+
+func TestProcRoundTrip(t *testing.T) {
+	p, err := Parse(procSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Procs) != 2 {
+		t.Fatalf("procs = %d, want 2", len(p.Procs))
+	}
+	text := p.Format()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if ir.FingerprintOf(q) != ir.FingerprintOf(p) {
+		t.Fatalf("round-trip fingerprint mismatch:\n%s\nvs\n%s", text, q.Format())
+	}
+	// The region must see through both call levels: twice -> 2x add ->
+	// (write a, read b, read s, read a, write s) each = 10 refs, plus the
+	// direct read s / write b = 12.
+	if got := len(p.Regions[0].Refs); got != 12 {
+		t.Fatalf("expanded refs = %d, want 12", got)
+	}
+}
+
+// TestProcParseErrors pins the exact error strings of every proc/call
+// error path: unknown callee, arity mismatch, duplicate procedure,
+// memory-reading arguments, parameter/variable collisions, and the
+// recursion detection message from validation.
+func TestProcParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "unknown-callee",
+			src: `program p
+var s
+region r loop i = 0 to 3 {
+  call nope(i)
+}
+`,
+			want: `4:3: call to unknown procedure "nope"`,
+		},
+		{
+			name: "arity-mismatch",
+			src: `program p
+var s
+proc f(x, y) {
+  s = x + y
+}
+region r loop i = 0 to 3 {
+  call f(i)
+}
+`,
+			want: `7:3: procedure "f" takes 2 arguments, got 1`,
+		},
+		{
+			name: "duplicate-proc",
+			src: `program p
+var s
+proc f(x) {
+  s = x
+}
+proc f(y) {
+  s = y
+}
+region r loop i = 0 to 3 {
+  call f(i)
+}
+`,
+			want: `6:6: procedure "f" redeclared`,
+		},
+		{
+			name: "memory-arg",
+			src: `program p
+var s
+var a[8]
+proc f(x) {
+  s = x
+}
+region r loop i = 0 to 3 {
+  call f(a[i])
+}
+`,
+			want: `8:10: argument 1 to "f" must not read memory (call arguments are index expressions)`,
+		},
+		{
+			name: "param-shadows-var",
+			src: `program p
+var s
+proc f(s) {
+  s = 1
+}
+region r loop i = 0 to 3 {
+  call f(i)
+}
+`,
+			want: `3:8: parameter "s" shadows variable "s"`,
+		},
+		{
+			name: "duplicate-param",
+			src: `program p
+var s
+proc f(x, x) {
+  s = x
+}
+region r loop i = 0 to 3 {
+  call f(i, i)
+}
+`,
+			want: `3:11: duplicate parameter "x"`,
+		},
+		{
+			name: "self-recursion",
+			src: `program p
+var s
+proc f(x) {
+  s = x
+  call f(x + 1)
+}
+region r loop i = 0 to 3 {
+  call f(i)
+}
+`,
+			want: `ir: recursive procedure call cycle: f -> f`,
+		},
+		{
+			name: "forward-reference",
+			src: `program p
+var s
+proc f(x) {
+  call g(x)
+}
+proc g(x) {
+  s = x
+}
+region r loop i = 0 to 3 {
+  call f(i)
+}
+`,
+			want: `4:3: call to unknown procedure "g"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parse succeeded, want error %q", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestProcLoopRename: a procedure whose inner loop index collides with a
+// loop live at the callsite parses, validates (no shadowing), and keeps
+// both loop levels distinct in the expansion.
+func TestProcLoopRename(t *testing.T) {
+	src := `program p
+var a[64]
+proc f(x) {
+  for j = 0 to 1 {
+    a[x + j] = j
+  }
+}
+region r loop i = 0 to 3 {
+  liveout a
+  for j = 0 to 2 {
+    call f(4 * j)
+  }
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Regions[0]
+	for _, ref := range r.Refs {
+		if ref.Access != ir.Write {
+			continue
+		}
+		if len(ref.Ctx.Loops) != 2 {
+			t.Fatalf("write %v: %d enclosing loops, want 2", ref, len(ref.Ctx.Loops))
+		}
+		if ref.Ctx.Loops[0].Index == ref.Ctx.Loops[1].Index {
+			t.Fatalf("write %v: captured index %q", ref, ref.Ctx.Loops[0].Index)
+		}
+	}
+	// Round-trip must still hold (the rename never reaches the surface).
+	q, err := Parse(p.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.FingerprintOf(q) != ir.FingerprintOf(p) {
+		t.Fatalf("round-trip fingerprint mismatch")
+	}
+}

@@ -239,6 +239,15 @@ func (c *compiler) stmts(stmts []ir.Stmt) {
 			jz := c.emit(Instr{Op: OpJz, A: cond})
 			c.emit(Instr{Op: OpExit})
 			c.code.Instrs[jz].B = len(c.code.Instrs)
+		case *ir.Call:
+			// Calls compile as their per-callsite expansion (parameters
+			// already substituted, loop indices already uncaptured), so
+			// the interpreter needs no frames and the hot loop is
+			// untouched. Finalize numbered exactly these references.
+			if s.Inlined == nil {
+				panic(fmt.Sprintf("vm: call to %q has no expansion (unresolved or recursive)", s.Callee))
+			}
+			c.stmts(s.Inlined)
 		default:
 			panic(fmt.Sprintf("vm: unknown statement %T", st))
 		}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Coverage floor gate: run the full test suite with a coverage profile
+# and fail when total statement coverage drops below the checked-in
+# floor (scripts/coverage_floor.txt). The profile lands in cover.out so
+# CI can upload it as an artifact.
+#
+# Raising the floor is encouraged when coverage grows; lowering it is a
+# reviewed decision, not a drive-by edit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-cover.out}"
+go test -coverprofile="$profile" ./...
+
+total=$(go tool cover -func="$profile" | tail -1 | awk '{print $NF}' | tr -d '%')
+floor=$(tr -d '[:space:]' < scripts/coverage_floor.txt)
+
+echo "total coverage: ${total}%  (floor: ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || {
+  echo "coverage ${total}% fell below the floor ${floor}% (scripts/coverage_floor.txt)" >&2
+  exit 1
+}
