@@ -88,6 +88,10 @@ func main() {
 	gateAllocSlackPrefix := flag.String("gate-alloc-slack-prefix",
 		"BenchmarkServiceLabelThroughput,BenchmarkServiceSimulateThroughput",
 		"comma-separated name prefixes whose allocs/op gate uses -gate-alloc-slack instead of exact flatness (concurrency benchmarks only: per-op allocations vary with scheduling; serial benchmarks like BenchmarkServiceLabelSerial stay exact)")
+	gateNsSlack := flag.Float64("gate-ns-slack", 1.0,
+		"ns/op regression allowed (fraction) for benchmarks matching -gate-ns-slack-prefix instead of -gate-max-regress")
+	gateNsSlackPrefix := flag.String("gate-ns-slack-prefix", "BenchmarkStore",
+		"comma-separated name prefixes whose ns/op gate uses -gate-ns-slack (fs-bound benchmarks: fsync latency varies run to run far beyond CPU noise; their allocs/op gate still applies)")
 	flag.Parse()
 
 	doc := Document{Go: *goVersion, Benchmarks: map[string]Result{}}
@@ -116,7 +120,7 @@ func main() {
 	}
 	if *gate != "" {
 		if err := runGate(doc.Benchmarks, *gate, *gatePrefix, *gateMaxRegress,
-			*gateAllocSlack, *gateAllocSlackPrefix); err != nil {
+			*gateAllocSlack, *gateAllocSlackPrefix, *gateNsSlack, *gateNsSlackPrefix); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -148,10 +152,14 @@ func main() {
 // allocSlack (fractionally): the service throughput benchmarks run
 // concurrent submitters, so their per-op allocation counts depend on
 // scheduling (how many requests coalesce) and are not exactly
-// reproducible. Any violation is an error; so is a gated baseline
-// benchmark that was not measured.
+// reproducible. Benchmarks matching nsSlackPrefix use nsSlack as their
+// ns/op threshold instead of maxRegress: the store benchmarks are bound
+// by fsync latency, which varies run to run far beyond CPU noise (their
+// allocs/op gate still holds — allocation counts don't depend on disk
+// speed). Any violation is an error; so is a gated baseline benchmark
+// that was not measured.
 func runGate(got map[string]Result, baselineFile, prefix string, maxRegress,
-	allocSlack float64, allocSlackPrefix string) error {
+	allocSlack float64, allocSlackPrefix string, nsSlack float64, nsSlackPrefix string) error {
 	raw, err := os.ReadFile(baselineFile)
 	if err != nil {
 		return err
@@ -179,6 +187,7 @@ func runGate(got map[string]Result, baselineFile, prefix string, maxRegress,
 	}
 	prefixes := splitPrefixes(prefix)
 	slackPrefixes := splitPrefixes(allocSlackPrefix)
+	nsSlackPrefixes := splitPrefixes(nsSlackPrefix)
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		if matchesAny(name, prefixes) {
@@ -203,10 +212,14 @@ func runGate(got map[string]Result, baselineFile, prefix string, maxRegress,
 		}
 		ratio := g.NsPerOp/b.NsPerOp - 1
 		status := "ok"
-		if ratio > maxRegress {
+		nsLimit := maxRegress
+		if matchesAny(name, nsSlackPrefixes) {
+			nsLimit = nsSlack
+		}
+		if ratio > nsLimit {
 			status = "REGRESSED"
 			violations = append(violations, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%+.1f%% > %+.1f%%)",
-				name, g.NsPerOp, b.NsPerOp, 100*ratio, 100*maxRegress))
+				name, g.NsPerOp, b.NsPerOp, 100*ratio, 100*nsLimit))
 		}
 		allocLimit := b.AllocsPerOp
 		if matchesAny(name, slackPrefixes) {

@@ -24,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -140,7 +142,11 @@ func run(args []string, w io.Writer) error {
 			case http.StatusOK:
 				return nil
 			case http.StatusServiceUnavailable:
-				return service.ErrOverloaded
+				oe := &overloadErr{}
+				if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+					oe.retryAfter = time.Duration(secs) * time.Second
+				}
+				return oe
 			default:
 				return fmt.Errorf("%s: status %d", op, resp.StatusCode)
 			}
@@ -181,58 +187,107 @@ func run(args []string, w io.Writer) error {
 
 // row is one measured phase.
 type row struct {
-	name    string
-	n       int
-	elapsed time.Duration
-	lats    []int64 // per-request ns, sorted
-	retries int64
+	name      string
+	n         int
+	elapsed   time.Duration
+	lats      []int64 // per-request ns, sorted
+	retries   int64
+	backoffNs int64 // total time spent sleeping between overload retries
 }
 
-// maxOverloadRetries bounds consecutive overload retries per request:
-// transient backpressure is expected under saturation and retried, but a
-// target answering 503 forever (shut down, or a proxy in front of a dead
-// daemon) must fail the run instead of spinning indefinitely.
-const maxOverloadRetries = 20000 // * 200µs sleep ≈ 4s of solid 503s
+// overloadErr is an overload rejection carrying the server's Retry-After
+// hint; it unwraps to service.ErrOverloaded so error branching is uniform
+// across the in-process and HTTP drivers.
+type overloadErr struct {
+	retryAfter time.Duration
+}
+
+func (e *overloadErr) Error() string { return service.ErrOverloaded.Error() }
+func (e *overloadErr) Unwrap() error { return service.ErrOverloaded }
+
+// Overload backoff schedule: jittered exponential, starting at
+// backoffBase, doubling per consecutive rejection, capped at backoffCap —
+// or at the server's Retry-After hint when it sends one (the hint is the
+// server's own estimate of when capacity returns, so the schedule never
+// sleeps past it). A request gives up once it has spent overloadBudget
+// asleep: a target answering 503 forever (shut down, or a proxy in front
+// of a dead daemon) must fail the run instead of spinning indefinitely.
+const (
+	backoffBase    = 200 * time.Microsecond
+	backoffCap     = 100 * time.Millisecond
+	overloadBudget = 10 * time.Second
+)
+
+// backoffFor computes the jittered sleep for the attempt-th consecutive
+// overload (attempt 0 = first rejection). The jitter spreads sleeps over
+// [d/2, 3d/2) so retried clients don't re-collide in lockstep.
+func backoffFor(attempt int, hint time.Duration, jitter func(int64) int64) time.Duration {
+	if attempt > 16 {
+		attempt = 16 // the cap has long since taken over; avoid shift overflow
+	}
+	d := backoffBase << attempt
+	limit := backoffCap
+	if hint > 0 {
+		limit = hint
+	}
+	if d > limit {
+		d = limit
+	}
+	return d/2 + time.Duration(jitter(int64(d)))
+}
 
 // drive issues n requests of one op across the concurrent clients,
-// retrying (and counting) overload rejections — backpressure is expected
-// behaviour under saturation, not failure.
+// retrying overload rejections with jittered exponential backoff —
+// backpressure is expected behaviour under saturation, not failure.
 func drive(name, op string, n, concurrency int, do func(op string, i int) error) (row, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
 	var (
-		next    atomic.Int64
-		retries atomic.Int64
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstE  error
+		next      atomic.Int64
+		retries   atomic.Int64
+		backoffNs atomic.Int64
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstE    error
 	)
 	lats := make([]int64, n)
 	start := time.Now()
 	for c := 0; c < concurrency; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
 				}
 				t0 := time.Now()
-				attempts := 0
+				attempt := 0
+				var slept time.Duration
 				for {
 					err := do(op, i)
 					if err == nil {
 						break
 					}
-					if errors.Is(err, service.ErrOverloaded) {
-						if attempts++; attempts <= maxOverloadRetries {
-							retries.Add(1)
-							time.Sleep(200 * time.Microsecond)
-							continue
+					if errors.Is(err, service.ErrOverloaded) && slept < overloadBudget {
+						var hint time.Duration
+						var oe *overloadErr
+						if errors.As(err, &oe) {
+							hint = oe.retryAfter
 						}
-						err = fmt.Errorf("still overloaded after %d retries: %w", attempts-1, err)
+						d := backoffFor(attempt, hint, rng.Int63n)
+						retries.Add(1)
+						backoffNs.Add(int64(d))
+						slept += d
+						attempt++
+						time.Sleep(d)
+						continue
+					}
+					if errors.Is(err, service.ErrOverloaded) {
+						err = fmt.Errorf("still overloaded after %v of backoff (%d retries): %w",
+							slept.Round(time.Millisecond), attempt, err)
 					}
 					mu.Lock()
 					if firstE == nil {
@@ -243,14 +298,15 @@ func drive(name, op string, n, concurrency int, do func(op string, i int) error)
 				}
 				lats[i] = time.Since(t0).Nanoseconds()
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	if firstE != nil {
 		return row{}, firstE
 	}
 	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-	return row{name: name, n: n, elapsed: time.Since(start), lats: lats, retries: retries.Load()}, nil
+	return row{name: name, n: n, elapsed: time.Since(start), lats: lats,
+		retries: retries.Load(), backoffNs: backoffNs.Load()}, nil
 }
 
 func (r row) pct(p float64) int64 {
@@ -266,9 +322,9 @@ func (r row) pct(p float64) int64 {
 func (r row) benchLine() string {
 	nsPerOp := float64(r.elapsed.Nanoseconds()) / float64(r.n)
 	reqPerSec := float64(r.n) / r.elapsed.Seconds()
-	return fmt.Sprintf("%s \t%8d\t%12.0f ns/op\t%12.0f req/s\t%10d p50-ns\t%10d p95-ns\t%10d p99-ns\t%10d max-ns\t%6d overload-retries",
+	return fmt.Sprintf("%s \t%8d\t%12.0f ns/op\t%12.0f req/s\t%10d p50-ns\t%10d p95-ns\t%10d p99-ns\t%10d max-ns\t%6d overload-retries\t%10d backoff-ns",
 		r.name, r.n, nsPerOp, reqPerSec,
-		r.pct(0.50), r.pct(0.95), r.pct(0.99), r.lats[len(r.lats)-1], r.retries)
+		r.pct(0.50), r.pct(0.95), r.pct(0.99), r.lats[len(r.lats)-1], r.retries, r.backoffNs)
 }
 
 // mergeRows inserts the measured rows into the results file's
@@ -298,6 +354,7 @@ func mergeRows(path string, rows []row) error {
 				"p99-ns":           float64(r.pct(0.99)),
 				"max-ns":           float64(r.lats[len(r.lats)-1]),
 				"overload-retries": float64(r.retries),
+				"backoff-ns":       float64(r.backoffNs),
 			},
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
 	"refidem/internal/benchfmt"
 )
@@ -82,6 +83,52 @@ func TestMergeRows(t *testing.T) {
 	}
 	if lbl.Iterations != 10 || lbl.NsPerOp <= 0 || lbl.Metrics["req/s"] <= 0 {
 		t.Errorf("bad merged row: %+v", lbl)
+	}
+}
+
+// TestBackoffSchedule pins the overload backoff: exponential growth from
+// the base, jitter inside [d/2, 3d/2), the default cap, and the server's
+// Retry-After hint replacing the cap as the ceiling.
+func TestBackoffSchedule(t *testing.T) {
+	// jitter=0 exposes the lower envelope d/2 deterministically.
+	floor := func(n int64) int64 { return 0 }
+	for attempt, want := range []time.Duration{
+		backoffBase / 2, backoffBase, 2 * backoffBase, 4 * backoffBase,
+	} {
+		if got := backoffFor(attempt, 0, floor); got != want {
+			t.Errorf("attempt %d: backoff = %v, want %v", attempt, got, want)
+		}
+	}
+	// Deep attempts are capped (and the shift must not overflow).
+	for _, attempt := range []int{12, 16, 63, 1000} {
+		if got := backoffFor(attempt, 0, floor); got != backoffCap/2 {
+			t.Errorf("attempt %d: backoff = %v, want cap envelope %v", attempt, got, backoffCap/2)
+		}
+	}
+	// A Retry-After hint becomes the ceiling: the schedule never sleeps
+	// past what the server promised.
+	hint := 2 * time.Second
+	if got := backoffFor(1000, hint, floor); got != hint/2 {
+		t.Errorf("hinted backoff = %v, want %v", got, hint/2)
+	}
+	// Full jitter stays within [d/2, 3d/2).
+	ceil := func(n int64) int64 { return n - 1 }
+	d := backoffFor(3, 0, ceil)
+	if lo, hi := 4*backoffBase, 12*backoffBase; d < lo || d >= hi {
+		t.Errorf("jittered backoff %v outside [%v, %v)", d, lo, hi)
+	}
+}
+
+// TestRowReportsBackoff checks the new totals appear in the bench row and
+// the merged document.
+func TestRowReportsBackoff(t *testing.T) {
+	r := row{name: "BenchmarkX", n: 1, elapsed: time.Second,
+		lats: []int64{5}, retries: 3, backoffNs: 12345}
+	line := r.benchLine()
+	for _, want := range []string{"overload-retries", "backoff-ns", "12345"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("bench line missing %q: %s", want, line)
+		}
 	}
 }
 

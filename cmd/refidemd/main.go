@@ -8,18 +8,25 @@
 //	POST /v1/label     {"program": "..."} or {"example": "fig2"}
 //	POST /v1/simulate  ... plus optional "procs", "capacity"
 //	POST /v1/batch     {"requests": [...]} (up to 256 items)
-//	GET  /healthz      liveness
-//	GET  /metricz      counters, cache stats, latency histogram
+//	GET  /healthz      liveness + store health (JSON)
+//	GET  /metricz      counters, cache/store stats, latency histogram
 //
 // Usage:
 //
 //	refidemd -addr 127.0.0.1:8347
 //	refidemd -addr 127.0.0.1:0 -shards 16 -workers 8   # ephemeral port
+//	refidemd -store /var/lib/refidem                   # persistent results
+//
+// With -store, the daemon opens a crash-safe result store in the given
+// directory: it warm-starts from surviving records at boot (announcing the
+// recovery scan's findings), persists computed responses write-behind, and
+// degrades to memory-only serving if the store faults at runtime.
 //
 // The daemon prints "listening on http://HOST:PORT" once ready (scripted
 // callers parse it to discover an ephemeral port), shuts down gracefully
 // on SIGINT/SIGTERM — in-flight and queued requests drain before exit —
 // and rejects work beyond the admission queue with 503 + Retry-After.
+// Requests exceeding -request-timeout answer 504.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"refidem/internal/service"
+	"refidem/internal/store"
 )
 
 func main() {
@@ -66,6 +74,9 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		queue     = fs.Int("queue", 1024, "admission queue depth (full queue answers 503)")
 		batch     = fs.Int("batch", 64, "max tasks per dispatch batch")
 		coalesce  = fs.Bool("coalesce", true, "deduplicate identical in-flight requests")
+		storeDir  = fs.String("store", "", "persistent result store directory (empty = memory-only)")
+		storeQ    = fs.Int("store-queue", 256, "write-behind persistence queue depth")
+		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline (answers 504; 0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,11 +90,30 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	cfg.QueueDepth = *queue
 	cfg.MaxBatch = *batch
 	cfg.Coalesce = *coalesce
+	cfg.StoreQueueDepth = *storeQ
+	cfg.RequestTimeout = *reqTO
+	var backend *store.FS
+	if *storeDir != "" {
+		var stats store.RecoveryStats
+		var err error
+		backend, stats, err = store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("opening store %s: %w", *storeDir, err)
+		}
+		fmt.Fprintf(stderr, "refidemd: store %s: %s\n", *storeDir, stats)
+		cfg.Store = backend
+	}
 	srv := service.New(cfg)
 
+	closeAll := func() {
+		srv.Close() // flushes write-behind persistence before the backend closes
+		if backend != nil {
+			backend.Close()
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		srv.Close()
+		closeAll()
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -94,7 +124,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 	select {
 	case err := <-serveErr:
-		srv.Close()
+		closeAll()
 		return err
 	case <-ctx.Done():
 	}
@@ -106,7 +136,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintln(stderr, "refidemd: forced shutdown:", err)
 	}
-	srv.Close()
+	closeAll()
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"io"
 	"net/http"
@@ -160,8 +161,15 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 	b, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(b) != "ok\n" {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, b)
+	}
+	var health service.Health
+	if err := json.Unmarshal(b, &health); err != nil {
+		t.Fatalf("healthz body is not JSON: %v\n%s", err, b)
+	}
+	if health.Status != "ok" || health.Store != "disabled" {
+		t.Fatalf("healthz = %+v, want status ok / store disabled (no -store flag)", health)
 	}
 
 	if status, _ := post(t, ts.URL+"/v1/label", `{"example": "fig2"}`); status != http.StatusOK {
@@ -180,37 +188,36 @@ func TestHealthAndMetrics(t *testing.T) {
 	}
 }
 
-// TestDaemonLifecycle boots the real daemon on an ephemeral port, labels
-// through it, then cancels the context and verifies the graceful drain
-// path runs to completion.
-func TestDaemonLifecycle(t *testing.T) {
+// bootDaemon starts the real daemon on an ephemeral port and returns its
+// base URL, the cancel triggering graceful shutdown, the exit channel and
+// the stderr buffer.
+func bootDaemon(t *testing.T, extraArgs ...string) (string, context.CancelFunc, chan error, *lockedBuffer) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	var stdout, stderr lockedBuffer
+	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}
 	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
 	go func() {
-		done <- runUntil(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr)
+		done <- runUntil(ctx, args, stdout, stderr)
 	}()
 
 	// The daemon prints its ephemeral address once the listener is up.
-	var url string
 	deadline := time.Now().Add(10 * time.Second)
 	re := regexp.MustCompile(`listening on (http://[^\s]+)`)
-	for url == "" {
+	for {
 		if m := re.FindStringSubmatch(stdout.String()); m != nil {
-			url = m[1]
-			break
+			return m[1], cancel, done, stderr
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
 
-	status, body := post(t, url+"/v1/label", `{"example": "fig2"}`)
-	if status != http.StatusOK {
-		t.Fatalf("label via daemon = %d: %s", status, body)
-	}
-
+// stopDaemon cancels the daemon and waits for the graceful drain.
+func stopDaemon(t *testing.T, cancel context.CancelFunc, done chan error, stderr *lockedBuffer) {
+	t.Helper()
 	cancel()
 	select {
 	case err := <-done:
@@ -220,9 +227,92 @@ func TestDaemonLifecycle(t *testing.T) {
 	case <-time.After(20 * time.Second):
 		t.Fatal("daemon did not drain and exit")
 	}
+}
+
+// TestDaemonLifecycle boots the real daemon on an ephemeral port, labels
+// through it, then cancels the context and verifies the graceful drain
+// path runs to completion.
+func TestDaemonLifecycle(t *testing.T) {
+	url, cancel, done, stderr := bootDaemon(t)
+
+	status, body := post(t, url+"/v1/label", `{"example": "fig2"}`)
+	if status != http.StatusOK {
+		t.Fatalf("label via daemon = %d: %s", status, body)
+	}
+
+	stopDaemon(t, cancel, done, stderr)
 	if !strings.Contains(stderr.String(), "drained, bye") {
 		t.Errorf("graceful drain message missing; stderr: %s", stderr.String())
 	}
+}
+
+// TestDaemonWarmRestart is the end-to-end durability check the crash smoke
+// script runs against a SIGKILLed process: populate a -store daemon, shut
+// it down, boot a fresh one on the same directory, and require the same
+// responses byte-identically from warm-start hits with zero recomputes.
+func TestDaemonWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []string{
+		`{"example": "fig2", "deps": true}`,
+		`{"example": "fig3"}`,
+	}
+
+	url, cancel, done, stderr := bootDaemon(t, "-store", dir)
+	if !strings.Contains(stderr.String(), "store "+dir) {
+		t.Errorf("recovery scan not announced; stderr: %s", stderr.String())
+	}
+	cold := make([][]byte, len(reqs))
+	for i, body := range reqs {
+		var status int
+		if status, cold[i] = post(t, url+"/v1/label", body); status != http.StatusOK {
+			t.Fatalf("populate request %d = %d: %s", i, status, cold[i])
+		}
+	}
+	stopDaemon(t, cancel, done, stderr)
+
+	url, cancel, done, stderr = bootDaemon(t, "-store", dir)
+	for i, body := range reqs {
+		status, warm := post(t, url+"/v1/label", body)
+		if status != http.StatusOK {
+			t.Fatalf("warm request %d = %d: %s", i, status, warm)
+		}
+		if !bytes.Equal(warm, cold[i]) {
+			t.Fatalf("request %d: warm-restart response differs from the cold bytes", i)
+		}
+	}
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Store != "ok" || health.StoreWarmHits != int64(len(reqs)) {
+		t.Fatalf("warm health = %+v, want store ok with %d warm hits", health, len(reqs))
+	}
+	resp, err = http.Get(url + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metricz), "tasks_computed 0\n") {
+		t.Error("warm restart recomputed a persisted fingerprint")
+	}
+	stopDaemon(t, cancel, done, stderr)
+}
+
+// TestDaemonRequestTimeout exercises the -request-timeout flag end to end:
+// an absurdly small deadline trips on a real compute and answers 504.
+func TestDaemonRequestTimeout(t *testing.T) {
+	url, cancel, done, stderr := bootDaemon(t, "-request-timeout", "1ns")
+	status, body := post(t, url+"/v1/label", `{"example": "fig2"}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", status, body)
+	}
+	stopDaemon(t, cancel, done, stderr)
 }
 
 func TestBadFlags(t *testing.T) {

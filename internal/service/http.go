@@ -36,11 +36,12 @@ type errorDoc struct {
 //	POST /v1/label     — label a program (Request document)
 //	POST /v1/simulate  — label + simulate under seq/HOSE/CASE
 //	POST /v1/batch     — up to 256 requests, answered in order
-//	GET  /healthz      — liveness probe
-//	GET  /metricz      — counters, cache stats, latency histogram
+//	GET  /healthz      — liveness + store health (JSON Health document)
+//	GET  /metricz      — counters, cache/store stats, latency histogram
 //
 // Responses for identical programs are byte-identical. Overload maps to
-// 503 with Retry-After; malformed requests to 400.
+// 503 with Retry-After; malformed requests to 400; requests exceeding
+// the configured per-request deadline to 504.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", func(w http.ResponseWriter, r *http.Request) {
@@ -51,8 +52,16 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		// Always 200 while the listener is up: a degraded store means
+		// memory-only serving, not an unhealthy server. Routers and the
+		// smoke scripts gate on the JSON body instead.
+		doc, err := json.MarshalIndent(s.Health(), "", "  ")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(doc, '\n'))
 	})
 	mux.HandleFunc("GET /metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -131,6 +140,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrTimeout):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -30,6 +30,33 @@ type Metrics struct {
 	// respHits counts requests answered from the response byte cache
 	// without touching the parser or the queue.
 	respHits atomic.Int64
+	// timeouts counts requests that exceeded the configured per-request
+	// deadline (served as 504 by the HTTP layer).
+	timeouts atomic.Int64
+
+	// Persistent-store counters (all zero when no store is configured).
+	// storeWarmHits counts tasks answered from the warm-start index;
+	// storeHits counts tasks answered by a runtime backend read;
+	// storeWarmEntries tracks warm-start records not yet served.
+	storeWarmHits    atomic.Int64
+	storeHits        atomic.Int64
+	storeWarmEntries atomic.Int64
+	// storeWrites/storeWriteErrors count write-behind persistence
+	// outcomes; storeDroppedWrites counts writes dropped by a full queue
+	// or a degraded store; storeCorrupt counts corrupt records detected
+	// (and quarantined) on the read path; storeReadErrors counts backend
+	// read faults.
+	storeWrites        atomic.Int64
+	storeWriteErrors   atomic.Int64
+	storeDroppedWrites atomic.Int64
+	storeCorrupt       atomic.Int64
+	storeReadErrors    atomic.Int64
+	// storeDegradedEvents counts ok→degraded transitions;
+	// storeRecoveries counts degraded→ok transitions; storeProbeFailures
+	// counts failed re-probes while degraded.
+	storeDegradedEvents atomic.Int64
+	storeRecoveries     atomic.Int64
+	storeProbeFailures  atomic.Int64
 
 	// Dispatch counters: batches admitted to the worker pool and the
 	// tasks they carried (their ratio is the realized batching factor).
@@ -44,6 +71,13 @@ type Metrics struct {
 }
 
 func newMetrics() *Metrics { return &Metrics{} }
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // observeLatency records one completed request's latency.
 func (m *Metrics) observeLatency(d time.Duration) {
@@ -63,22 +97,36 @@ type Snapshot struct {
 	BadRequests, Overloaded, Coalesced          int64
 	Computed, RespHits, Batches, BatchTasks     int64
 	LatencyCount, LatencySumNs                  int64
+	Timeouts                                    int64
+	StoreWarmHits, StoreHits                    int64
+	StoreWrites, StoreWriteErrors               int64
+	StoreDroppedWrites, StoreCorrupt            int64
+	StoreDegradedEvents, StoreRecoveries        int64
 }
 
 // SnapshotNow copies the counters.
 func (m *Metrics) SnapshotNow() Snapshot {
 	s := Snapshot{
-		LabelRequests:    m.labelRequests.Load(),
-		SimulateRequests: m.simulateRequests.Load(),
-		BatchCalls:       m.batchCalls.Load(),
-		BadRequests:      m.badRequests.Load(),
-		Overloaded:       m.overloaded.Load(),
-		Coalesced:        m.coalesced.Load(),
-		Computed:         m.computed.Load(),
-		RespHits:         m.respHits.Load(),
-		Batches:          m.batches.Load(),
-		BatchTasks:       m.batchTasks.Load(),
-		LatencySumNs:     m.latencySumNs.Load(),
+		LabelRequests:       m.labelRequests.Load(),
+		SimulateRequests:    m.simulateRequests.Load(),
+		BatchCalls:          m.batchCalls.Load(),
+		BadRequests:         m.badRequests.Load(),
+		Overloaded:          m.overloaded.Load(),
+		Coalesced:           m.coalesced.Load(),
+		Computed:            m.computed.Load(),
+		RespHits:            m.respHits.Load(),
+		Batches:             m.batches.Load(),
+		BatchTasks:          m.batchTasks.Load(),
+		LatencySumNs:        m.latencySumNs.Load(),
+		Timeouts:            m.timeouts.Load(),
+		StoreWarmHits:       m.storeWarmHits.Load(),
+		StoreHits:           m.storeHits.Load(),
+		StoreWrites:         m.storeWrites.Load(),
+		StoreWriteErrors:    m.storeWriteErrors.Load(),
+		StoreDroppedWrites:  m.storeDroppedWrites.Load(),
+		StoreCorrupt:        m.storeCorrupt.Load(),
+		StoreDegradedEvents: m.storeDegradedEvents.Load(),
+		StoreRecoveries:     m.storeRecoveries.Load(),
 	}
 	for i := range m.latency {
 		s.LatencyCount += m.latency[i].Load()
@@ -98,6 +146,7 @@ func (s *Server) RenderMetricz() string {
 	w("requests_simulate", m.simulateRequests.Load())
 	w("requests_batch_calls", m.batchCalls.Load())
 	w("requests_bad", m.badRequests.Load())
+	w("requests_timeout", m.timeouts.Load())
 	w("rejected_overloaded", m.overloaded.Load())
 	w("coalesced_requests", m.coalesced.Load())
 	w("tasks_computed", m.computed.Load())
@@ -110,6 +159,28 @@ func (s *Server) RenderMetricz() string {
 	} else {
 		w("response_cache_entries", 0)
 	}
+
+	// Persistent-store block: store_enabled/store_degraded render the
+	// state machine as flags, the rest are cumulative counters.
+	state := s.StoreStateNow()
+	w("store_enabled", boolToInt(state != StoreDisabled))
+	w("store_degraded", boolToInt(state == StoreDegraded))
+	w("store_warm_hits", m.storeWarmHits.Load())
+	w("store_warm_entries", m.storeWarmEntries.Load())
+	w("store_hits", m.storeHits.Load())
+	w("store_writes", m.storeWrites.Load())
+	w("store_write_errors", m.storeWriteErrors.Load())
+	w("store_dropped_writes", m.storeDroppedWrites.Load())
+	w("store_corrupt_reads", m.storeCorrupt.Load())
+	w("store_read_errors", m.storeReadErrors.Load())
+	w("store_degraded_events", m.storeDegradedEvents.Load())
+	w("store_recoveries", m.storeRecoveries.Load())
+	w("store_probe_failures", m.storeProbeFailures.Load())
+	var quarantined int64
+	if s.cfg.Store != nil {
+		quarantined = s.cfg.Store.Quarantined()
+	}
+	w("store_quarantined", quarantined)
 
 	cs := s.CacheStats()
 	w("cache_shards", int64(len(s.shards)))

@@ -39,6 +39,7 @@ import (
 	"refidem/internal/idem"
 	"refidem/internal/ir"
 	"refidem/internal/parallel"
+	"refidem/internal/store"
 )
 
 // Typed service errors. The HTTP layer maps them to status codes;
@@ -52,6 +53,10 @@ var (
 	ErrOverloaded = errors.New("overloaded: admission queue full")
 	// ErrClosed is returned for requests submitted after Close began.
 	ErrClosed = errors.New("server closed")
+	// ErrTimeout is returned when a request exceeds the server's
+	// configured per-request deadline (Config.RequestTimeout). The HTTP
+	// layer maps it to 504.
+	ErrTimeout = errors.New("request deadline exceeded")
 )
 
 // Config parameterizes a Server. The zero value is normalized to the
@@ -85,6 +90,24 @@ type Config struct {
 	// capacity override it. A zero Processors selects
 	// engine.DefaultConfig.
 	Engine engine.Config
+	// Store is the persistent result store (nil disables persistence —
+	// the zero value and DefaultConfig are memory-only). When set, the
+	// server warm-starts from it at construction, persists computed
+	// responses write-behind, and degrades to memory-only on backend
+	// faults instead of failing requests. The backend belongs to the
+	// caller: Close does not close it.
+	Store store.Backend
+	// StoreQueueDepth bounds the write-behind persistence queue; a full
+	// queue drops writes (counted) instead of blocking the request path
+	// (<= 0 selects 256).
+	StoreQueueDepth int
+	// StoreProbeInterval is how often a degraded store is re-probed
+	// (<= 0 selects 3s).
+	StoreProbeInterval time.Duration
+	// RequestTimeout is the per-request deadline applied inside Do; a
+	// request that exceeds it fails with ErrTimeout (HTTP 504). Zero
+	// disables the deadline.
+	RequestTimeout time.Duration
 }
 
 // DefaultConfig returns the production defaults: 8 cache shards of 64
@@ -123,6 +146,12 @@ func (c Config) normalized() Config {
 	if c.Engine.Processors == 0 {
 		c.Engine = engine.DefaultConfig()
 	}
+	if c.StoreQueueDepth <= 0 {
+		c.StoreQueueDepth = 256
+	}
+	if c.StoreProbeInterval <= 0 {
+		c.StoreProbeInterval = 3 * time.Second
+	}
 	return c
 }
 
@@ -143,6 +172,17 @@ type Server struct {
 	closing atomic.Bool
 
 	drained chan struct{}
+
+	// Persistence tier (see persist.go). storeState holds a StoreState;
+	// warm is the boot-time snapshot of persisted responses, drained as
+	// entries are served; persistQ is the bounded write-behind queue.
+	storeState  atomic.Int32
+	warmMu      sync.Mutex
+	warm        map[store.Key][]byte
+	persistQ    chan persistWrite
+	persistDone chan struct{}
+	probeStop   chan struct{}
+	storeOnce   sync.Once
 }
 
 // taskKey identifies a coalescable computation: the operation, the
@@ -183,13 +223,16 @@ func New(cfg Config) *Server {
 	if cfg.ResponseCache > 0 {
 		s.resp = newRespCache(cfg.Shards, cfg.ResponseCache)
 	}
+	s.initStore()
 	go s.dispatch()
 	return s
 }
 
 // Close stops admission (further requests fail with ErrClosed), drains
-// every already-admitted request to completion and then returns. It is
-// idempotent and safe to call concurrently.
+// every already-admitted request to completion, then flushes the
+// write-behind persistence queue and stops the store goroutines — after
+// Close returns no store write can happen. It is idempotent and safe to
+// call concurrently.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -199,6 +242,9 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	<-s.drained
+	// Every run() has returned, so nothing can enqueue persistence work
+	// anymore; the persister drains what is already queued and exits.
+	s.storeOnce.Do(s.closeStore)
 }
 
 // shardFor maps a program fingerprint to its cache shard.
@@ -245,6 +291,11 @@ func (s *Server) Batch(ctx context.Context, reqs []Request) ([][]byte, []error) 
 // one computation when the server was configured with Coalesce.
 func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 	start := time.Now()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
 	switch req.Op {
 	case OpLabel:
 		s.metrics.labelRequests.Add(1)
@@ -298,7 +349,13 @@ func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 	case <-t.done:
 	case <-ctx.Done():
 		// The computation still completes for any coalesced waiters; this
-		// caller alone abandons it.
+		// caller alone abandons it. A deadline that came from the server's
+		// own RequestTimeout maps to the typed ErrTimeout (HTTP 504) so a
+		// stuck compute cannot hold an HTTP worker forever.
+		if s.cfg.RequestTimeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.metrics.timeouts.Add(1)
+			return nil, fmt.Errorf("%w after %v", ErrTimeout, s.cfg.RequestTimeout)
+		}
 		return nil, ctx.Err()
 	}
 	s.metrics.observeLatency(time.Since(start))
@@ -410,6 +467,14 @@ func (s *Server) run(t *task) {
 		s.mu.Unlock()
 		close(t.done)
 	}()
+	// The persistent tier answers before any compute: a warm-start or
+	// store hit is byte-identical to the cold compute by the determinism
+	// guarantee, so serving it is exact — the paper's thesis (idempotent
+	// work may be skipped) applied to the analysis itself.
+	if resp := s.storeLookup(t.key); resp != nil {
+		t.resp = resp
+		return
+	}
 	s.metrics.computed.Add(1)
 	shard := s.shardFor(t.key.fp)
 	// The shard canonicalizes: identical programs share one labeled
@@ -434,6 +499,9 @@ func (s *Server) run(t *task) {
 		t.resp, t.err = renderSimulateResponse(t.key.fp, prog, labs, cfg)
 	default:
 		t.err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, t.key.op)
+	}
+	if t.err == nil && t.resp != nil {
+		s.persistAsync(t.key, t.resp)
 	}
 }
 

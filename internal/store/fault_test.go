@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpenFaulty(t *testing.T, dir string) (*FS, *FaultFS) {
+	t.Helper()
+	ff := NewFaultFS()
+	s, _, err := OpenWithFaults(dir, ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ff
+}
+
+// TestTornWriteNeverServed: a write that silently persists only a prefix
+// must be caught by the frame checksum on read and quarantined — the
+// fault the length+CRC header exists for.
+func TestTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := mustOpenFaulty(t, dir)
+	k := testKey(1)
+	ff.Arm(FaultTornWrite, 1)
+	// The torn write reports success: from the writer's view the record
+	// landed. Only validation can reveal the loss.
+	if err := s.Put(k, []byte("a payload that will be torn in half")); err != nil {
+		t.Fatalf("torn Put reported: %v (torn writes are silent)", err)
+	}
+	if ff.Fired() != 1 {
+		t.Fatalf("fault fired %d times, want 1", ff.Fired())
+	}
+	if _, err := s.Get(k); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of torn record: err = %v, want ErrCorrupt", err)
+	}
+	if s.Quarantined() != 1 {
+		t.Errorf("quarantined = %d, want 1", s.Quarantined())
+	}
+	// After quarantine the address is a clean miss and rewritable.
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-quarantine Get: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(k, []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(k); err != nil || string(got) != "rewritten" {
+		t.Fatalf("rewritten Get = %q, %v", got, err)
+	}
+}
+
+func TestENOSPCFailsPutCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := mustOpenFaulty(t, dir)
+	k := testKey(1)
+	ff.Arm(FaultENOSPC, 1)
+	if err := s.Put(k, []byte("doomed")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Put under ENOSPC: err = %v, want ErrNoSpace", err)
+	}
+	// No record landed, and the failed temp file was cleaned up.
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after failed Put: err = %v, want ErrNotFound", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("tmp dir holds %d files after failed Put, want 0", len(entries))
+	}
+	// Disk frees up: the same Put now succeeds.
+	ff.Heal()
+	if err := s.Put(k, []byte("landed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameFailureFailsPutCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := mustOpenFaulty(t, dir)
+	k := testKey(1)
+	ff.Arm(FaultRenameFail, 1)
+	if err := s.Put(k, []byte("doomed")); !errors.Is(err, ErrRenameFailed) {
+		t.Fatalf("Put under rename failure: err = %v, want ErrRenameFailed", err)
+	}
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after failed Put: err = %v, want ErrNotFound", err)
+	}
+	ff.Heal()
+	if err := s.Put(k, []byte("landed")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashMidWriteRecovers: a crash point abandons the process state
+// mid-write; reopening the directory sweeps the abandoned temp file and
+// the address reads as a clean miss.
+func TestCrashMidWriteRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := mustOpenFaulty(t, dir)
+	committed, doomed := testKey(1), testKey(2)
+	if err := s.Put(committed, []byte("committed before the crash")); err != nil {
+		t.Fatal(err)
+	}
+	ff.Arm(FaultCrash, 1)
+	if err := s.Put(doomed, []byte("interrupted by the crash")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Put across crash point: err = %v, want ErrCrashed", err)
+	}
+	if !ff.Crashed() {
+		t.Fatal("fault layer not in crashed state")
+	}
+	// Everything after the crash fails: the process is gone.
+	if _, err := s.Get(committed); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Get: err = %v, want ErrCrashed", err)
+	}
+	if err := s.Probe(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Probe: err = %v, want ErrCrashed", err)
+	}
+
+	// "Restart": a fresh store over the same directory with a healthy fs.
+	s2, stats, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TempsSwept != 1 {
+		t.Errorf("recovery swept %d temp files, want 1 (the abandoned write)", stats.TempsSwept)
+	}
+	if stats.Quarantined != 0 {
+		t.Errorf("recovery quarantined %d, want 0 (the crash never renamed into records/)", stats.Quarantined)
+	}
+	if got, err := s2.Get(committed); err != nil || !bytes.Equal(got, []byte("committed before the crash")) {
+		t.Fatalf("committed record after restart = %q, %v", got, err)
+	}
+	if _, err := s2.Get(doomed); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("interrupted record after restart: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestReadCorruptionQuarantines: bit rot on the read path must never
+// surface as data — the record is quarantined and reported corrupt.
+func TestReadCorruptionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s, ff := mustOpenFaulty(t, dir)
+	k := testKey(1)
+	if err := s.Put(k, []byte("pristine payload")); err != nil {
+		t.Fatal(err)
+	}
+	ff.Arm(FaultReadCorrupt, 1)
+	if _, err := s.Get(k); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted read: err = %v, want ErrCorrupt", err)
+	}
+	if s.Quarantined() != 1 {
+		t.Errorf("quarantined = %d, want 1", s.Quarantined())
+	}
+	ff.Heal()
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("post-quarantine Get: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestProbeReportsFaults: Probe must fail while the backing fs is broken
+// and succeed again after it heals — the signal the serving layer's
+// degraded-mode re-probe loop keys on.
+func TestProbeReportsFaults(t *testing.T) {
+	s, ff := mustOpenFaulty(t, t.TempDir())
+	for _, kind := range []FaultKind{FaultENOSPC, FaultRenameFail} {
+		ff.Arm(kind, 1)
+		if err := s.Probe(); err == nil {
+			t.Errorf("%v: probe passed under an active fault", kind)
+		}
+		ff.Heal()
+		if err := s.Probe(); err != nil {
+			t.Errorf("%v: probe failed after heal: %v", kind, err)
+		}
+	}
+}

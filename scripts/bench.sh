@@ -10,14 +10,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngineHOSE|BenchmarkEngineCASE|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService}"
+BENCH="${BENCH:-BenchmarkEngineHOSE|BenchmarkEngineCASE|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore}"
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_results.json}"
 # LOADBENCH=0 skips the service load-harness rows (cmd/loadbench).
 LOADBENCH="${LOADBENCH:-1}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service |
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service ./internal/store |
   tee /dev/stderr |
   /tmp/benchjson -o "$OUT" -baseline scripts/seed_baseline.json -go "$(go version | awk '{print $3}')"
 if [ "$LOADBENCH" != "0" ]; then

@@ -9,13 +9,16 @@
 # (the labeling pipeline), BenchmarkSequentialBaseline (the uniprocessor
 # reference run) and the service benchmarks — BenchmarkServiceLabel*
 # (queue path with coalescing on/off plus the response-cache fast path)
-# and BenchmarkServiceSimulateThroughput (label + simulate pipeline).
-# Allocation counts are machine-independent for the single-threaded
-# benchmarks (BenchmarkServiceLabelSerial included), so their allocs
-# gate is exact; the *Throughput service benchmarks run concurrent
-# submitters whose per-op allocs depend on scheduling, so they alone
-# get a 25% allocs allowance (benchjson -gate-alloc-slack). The ns/op
-# threshold absorbs runner noise.
+# and BenchmarkServiceSimulateThroughput (label + simulate pipeline) —
+# and the persistent-store benchmarks BenchmarkStore* (durable put,
+# validated get, recovery scan). Allocation counts are
+# machine-independent for the single-threaded benchmarks
+# (BenchmarkServiceLabelSerial included), so their allocs gate is exact;
+# the *Throughput service benchmarks run concurrent submitters whose
+# per-op allocs depend on scheduling, and the BenchmarkStore* rows are
+# fs-bound (directory listings and temp-file naming vary per kernel), so
+# those get a 25% allocs allowance (benchjson -gate-alloc-slack). The
+# ns/op threshold absorbs runner noise.
 #
 # Usage:
 #   scripts/bench_gate.sh                  # gate against BENCH_results.json
@@ -24,16 +27,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService}"
+BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore}"
 BENCHTIME="${BENCHTIME:-1s}"
 BASELINE="${BASELINE:-BENCH_results.json}"
 MAX_REGRESS="${MAX_REGRESS:-0.25}"
-PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput}"
+PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput,BenchmarkStore}"
 ALLOC_SLACK="${ALLOC_SLACK:-0.25}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service |
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service ./internal/store |
   tee /dev/stderr |
   /tmp/benchjson -gate "$BASELINE" -gate-prefix "$PREFIXES" -gate-max-regress "$MAX_REGRESS" \
     -gate-alloc-slack "$ALLOC_SLACK" \
-    -gate-alloc-slack-prefix "BenchmarkServiceLabelThroughput,BenchmarkServiceSimulateThroughput"
+    -gate-alloc-slack-prefix "BenchmarkServiceLabelThroughput,BenchmarkServiceSimulateThroughput,BenchmarkStore"

@@ -30,7 +30,11 @@ done
 [ -n "$url" ] || { echo "refidemd never announced its address" >&2; cat "$out/stderr" >&2; exit 1; }
 echo "smoke: daemon at $url"
 
-curl -sfS "$url/healthz" | grep -qx ok
+# /healthz is a JSON document: status plus the store state (disabled —
+# no -store flag here; crash_restart_smoke.sh covers the store states).
+curl -sfS "$url/healthz" >"$out/healthz"
+grep -q '"status": "ok"' "$out/healthz"
+grep -q '"store": "disabled"' "$out/healthz"
 
 # The label response must be byte-identical to the golden document.
 curl -sfS -X POST -H 'Content-Type: application/json' \
