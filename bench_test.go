@@ -163,25 +163,43 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 
 // BenchmarkEngineHOSE and BenchmarkEngineCASE measure the simulator alone
 // on the TOMCATV loop.
-func BenchmarkEngineHOSE(b *testing.B) { benchEngine(b, false) }
+func BenchmarkEngineHOSE(b *testing.B) { benchEngine(b, false, false) }
 
 // BenchmarkEngineCASE is the CASE-mode counterpart of BenchmarkEngineHOSE.
-func BenchmarkEngineCASE(b *testing.B) { benchEngine(b, true) }
+func BenchmarkEngineCASE(b *testing.B) { benchEngine(b, true, false) }
 
-func benchEngine(b *testing.B, useCase bool) {
+// BenchmarkEngineHOSETraced and BenchmarkEngineCASETraced run the same
+// loop with the trace JIT on: hot inner loops execute as guarded
+// superblocks instead of per-instruction dispatch. In CASE mode the
+// idempotency labels additionally elide guards (Definition 4 applied at
+// host time), so its margin over the untraced engine is the larger one.
+func BenchmarkEngineHOSETraced(b *testing.B) { benchEngine(b, false, true) }
+
+// BenchmarkEngineCASETraced is the CASE-mode traced benchmark.
+func BenchmarkEngineCASETraced(b *testing.B) { benchEngine(b, true, true) }
+
+func benchEngine(b *testing.B, useCase, traced bool) {
 	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
 	p := spec.Program()
 	labs := LabelProgram(p)
 	cfg := engine.DefaultConfig()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var err error
+	cfg.Traced = traced
+	// Warm one run outside the timer so every measured iteration sees the
+	// compiled-region (and, when traced, superblock) caches hot.
+	run := func() (err error) {
 		if useCase {
 			_, err = RunCASE(p, labs, cfg)
 		} else {
 			_, err = RunHOSE(p, labs, cfg)
 		}
-		if err != nil {
+		return err
+	}
+	if err := run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -77,6 +77,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		storeDir  = fs.String("store", "", "persistent result store directory (empty = memory-only)")
 		storeQ    = fs.Int("store-queue", 256, "write-behind persistence queue depth")
 		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline (answers 504; 0 disables)")
+		traced    = fs.Bool("traced", false, "run simulate engines with the trace JIT (hot loops execute as guarded superblocks; results identical, cycle counts differ)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +93,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	cfg.Coalesce = *coalesce
 	cfg.StoreQueueDepth = *storeQ
 	cfg.RequestTimeout = *reqTO
+	cfg.Engine.Traced = *traced
 	var backend *store.FS
 	if *storeDir != "" {
 		var stats store.RecoveryStats

@@ -89,6 +89,16 @@ type Config struct {
 	// violation, squash, stall, commit) — a debugging aid; it does not
 	// affect timing.
 	Trace io.Writer
+	// Traced enables the trace-JIT execution tier: hot loop paths inside
+	// segment bodies are recorded, compiled into guarded superblocks
+	// (package vm), and executed without per-event interpreter dispatch.
+	// References the labeling proved idempotent run guard-free inside
+	// traces. Live-out memory is identical to the untraced engines (the
+	// fuzz wall asserts it); simulated cycle counts may differ slightly
+	// because traced execution batches one loop iteration per scheduler
+	// event, so byte-deterministic consumers (goldens, the service cache)
+	// keep it off by default.
+	Traced bool
 }
 
 // DefaultConfig returns the baseline machine used by the experiments.
@@ -153,6 +163,23 @@ type Stats struct {
 	// executing segment instances (including squashed work); dividing by
 	// Processors*Cycles gives machine utilization.
 	BusyCycles int64
+	// TracesCompiled counts superblocks compiled by this run (traces
+	// reused from the shared cache are not recounted).
+	TracesCompiled int64
+	// TraceIterations counts loop iterations that ran to the backedge
+	// inside a compiled trace.
+	TraceIterations int64
+	// TraceBailouts counts trace exits back to the interpreter: failed
+	// guards (including the designed loop-exit bail) and speculative
+	// storage overflows inside a trace.
+	TraceBailouts int64
+	// TraceGuardedOps counts traced memory operations that went through
+	// the speculative protocol (buffered, bail-capable); TraceElidedOps
+	// counts those the idempotency labels let run direct against
+	// non-speculative storage with no guard at all. Their ratio is the
+	// guard-elision win the labels bought.
+	TraceGuardedOps int64
+	TraceElidedOps  int64
 }
 
 // Result of a run.

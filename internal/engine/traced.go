@@ -1,0 +1,332 @@
+package engine
+
+// The traced execution tier: Config.Traced routes the event loop through
+// advanceTraced, which layers the VM's trace-JIT (internal/vm/trace.go)
+// onto speculative execution.
+//
+// Per segment, the tier moves through three phases:
+//
+//  1. Record. The oldest in-flight instance — the one instance that can
+//     never be squashed or stalled, so its dynamic path is part of the
+//     real final execution — interprets under vm.StepRecorded until a
+//     backedge turns
+//     hot and the recorder's window fills (or the segment ends).
+//  2. Compile. The hottest inter-backedge path becomes a guarded
+//     superblock. The guard-elision predicate is the refMeta bypass bit:
+//     exactly the references that skip speculative storage under the
+//     current mode and labeling run direct inside the trace. Superblocks
+//     are published to the shared per-(region, mode, labeling) cache, so
+//     repeated runs (benchmark iterations, service traffic) skip phases
+//     1-2 entirely.
+//  3. Execute. Machines interpret under vm.StepTraced, which pauses at
+//     the trace entry; runTrace then executes one full loop iteration
+//     with no per-instruction event dispatch. Memory references resolve
+//     inline with byte-for-byte the same semantics as doLoad/doStore.
+//
+// Bailouts need no undo machinery: traces execute in original program
+// order with every register effect replicated, so machine state at any
+// trace point equals interpreter state at the corresponding original pc.
+// A failed guard sets the machine's PC to the branch's other target; a
+// speculative-storage overflow sets it to the memory op's own pc without
+// applying the op, and the interpreter re-executes it down the ordinary
+// stall path. Only live-out memory is guaranteed identical to the
+// untraced engines — cycle counts may differ, because a traced iteration
+// is one scheduler event instead of one event per memory reference.
+
+import (
+	"refidem/internal/ir"
+	"refidem/internal/vm"
+)
+
+// tracedSetRegion prepares the runner's trace state for a region: the
+// run-local superblock view, the shared cache handle, and the elision
+// predicate derived from the labeling.
+func (sr *specRunner) tracedSetRegion(rc *regionCode) {
+	if sr.segSB == nil {
+		sr.segSB = make(map[int]*vm.Superblock, 4)
+		sr.segTried = make(map[int]bool, 4)
+	} else {
+		clear(sr.segSB)
+		clear(sr.segTried)
+	}
+	sr.recSeg = -1
+	sr.recOwner = nil
+	sr.tr = rc.tracedFor(tracedKey{mode: sr.mode, labels: sr.bypassKey()})
+	sr.tr.snapshot(sr.segSB, sr.segTried)
+	if sr.rec == nil {
+		sr.rec = vm.NewRecorder(vm.DefaultTraceConfig())
+	}
+	meta := sr.refMeta
+	sr.direct = func(ref *ir.Ref) bool { return meta[ref.ID].bypass }
+}
+
+// bypassKey encodes which references bypass speculative storage under the
+// current mode and labeling — byte-exact, so two labelings differing in a
+// single reference never share superblocks. The bits come from
+// idem.Result.IdempotentBits masked by the mode (HOSE bypasses nothing).
+func (sr *specRunner) bypassKey() string {
+	if sr.mode != CASE {
+		return ""
+	}
+	bits := sr.lab.IdempotentBits()
+	buf := make([]byte, 0, len(bits)*8)
+	for _, w := range bits {
+		for s := 0; s < 64; s += 8 {
+			buf = append(buf, byte(w>>s))
+		}
+	}
+	return string(buf)
+}
+
+// advanceTraced is advance with the trace tier layered in. The event
+// bookkeeping (pending events, busy cycles, completion) matches advance
+// exactly; only instruction execution differs.
+func (sr *specRunner) advanceTraced(inst *instance) {
+	before := inst.clock
+	var ev vm.Event
+	if inst.hasPending {
+		ev = inst.pendingEv
+		inst.hasPending = false
+	} else {
+		segID := inst.seg.ID
+		if sb := sr.segSB[segID]; sb != nil {
+			ops := inst.m.StepTraced(&ev, sb.Entry)
+			inst.clock += int64(ops) * sr.opCost
+			inst.tally.instrs += int64(ops)
+			if ev.Kind == vm.EvTraceEntry {
+				sr.runTrace(inst, sb)
+				if inst.clock > before {
+					sr.stats.BusyCycles += inst.clock - before
+				}
+				return
+			}
+		} else if !sr.segTried[segID] && inst.age == sr.baseAge {
+			// Record on the oldest instance: it can never be squashed or
+			// stalled, so the captured window is part of the real (final)
+			// execution.
+			if sr.recSeg != segID {
+				sr.rec.Reset(inst.m.Code)
+				sr.recSeg = segID
+				sr.recOwner = inst
+			}
+			if sr.recOwner == inst {
+				ops := inst.m.StepRecorded(&ev, sr.rec)
+				inst.clock += int64(ops) * sr.opCost
+				inst.tally.instrs += int64(ops)
+				if sr.rec.Full() {
+					sr.finishRecording()
+				}
+			} else {
+				ops := inst.m.StepInto(&ev)
+				inst.clock += int64(ops) * sr.opCost
+				inst.tally.instrs += int64(ops)
+			}
+		} else {
+			ops := inst.m.StepInto(&ev)
+			inst.clock += int64(ops) * sr.opCost
+			inst.tally.instrs += int64(ops)
+		}
+	}
+	if ev.Kind == vm.EvDone {
+		if inst == sr.recOwner {
+			// The recording instance finished its segment: build from
+			// whatever the window holds (a full segment execution is
+			// plenty for loops worth tracing).
+			sr.finishRecording()
+		}
+		if inst.clock > before {
+			sr.stats.BusyCycles += inst.clock - before
+		}
+		sr.complete(inst)
+		return
+	}
+	if ev.Kind == vm.EvLoad {
+		sr.doLoad(inst, &ev)
+	} else {
+		sr.doStore(inst, &ev)
+	}
+	if inst.clock > before {
+		sr.stats.BusyCycles += inst.clock - before
+	}
+}
+
+// finishRecording compiles the recorder's capture (nil when the segment
+// has no hot compilable loop), publishes the outcome, and disarms the
+// recorder.
+func (sr *specRunner) finishRecording() {
+	segID := sr.recSeg
+	sb := sr.rec.Build(sr.direct)
+	sr.recSeg = -1
+	sr.recOwner = nil
+	if segID < 0 {
+		return
+	}
+	sr.segTried[segID] = true
+	if sb != nil {
+		sr.segSB[segID] = sb
+		sr.stats.TracesCompiled++
+	}
+	sr.tr.store(segID, sb)
+}
+
+// runTrace executes one compiled loop iteration for inst. On a completed
+// iteration the machine is left at the trace entry (the next advance
+// re-enters the trace immediately); on a bailout the machine's PC is the
+// original address where interpretation must resume. Cycle and tally
+// accounting reproduces the interpreter's: every trace instruction
+// carries the op count of the original instructions it stands for, and
+// memory latencies are charged exactly as doLoad/doStore charge them.
+func (sr *specRunner) runTrace(inst *instance, sb *vm.Superblock) {
+	regs := inst.m.Regs
+	var ops int64
+	flush := func() {
+		inst.clock += ops * sr.opCost
+		inst.tally.instrs += ops
+	}
+	bail := func(pc int32) {
+		flush()
+		inst.m.PC = int(pc)
+		sr.stats.TraceBailouts++
+	}
+	for i := range sb.Instrs {
+		in := &sb.Instrs[i]
+		switch in.Op {
+		case vm.TConst:
+			regs[in.Dst] = in.Val
+		case vm.TBin:
+			a, b := regs[in.A], regs[in.B]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = a + b
+			case ir.Sub:
+				v = a - b
+			case ir.Mul:
+				v = a * b
+			default:
+				v = in.BinOp.Apply(a, b)
+			}
+			regs[in.Dst] = v
+		case vm.TImmR:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] = in.BinOp.Apply(regs[in.A], in.Val)
+		case vm.TImmL:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] = in.BinOp.Apply(in.Val, regs[in.B])
+		case vm.TGuardZ:
+			ops += int64(in.Cost)
+			if (regs[in.A] == 0) != in.ExpectZero {
+				bail(in.Bail)
+				return
+			}
+			continue
+		case vm.TGuardTest:
+			regs[in.SubR] = in.Val
+			cond := in.BinOp.Apply(regs[in.A], in.Val)
+			regs[in.Dst] = cond
+			ops += int64(in.Cost)
+			if (cond == 0) != in.ExpectZero {
+				bail(in.Bail)
+				return
+			}
+			continue
+		case vm.TLoad:
+			md := &sr.refMeta[in.RefID]
+			subs := sr.tsubs[:len(in.Subs)]
+			for k, r := range in.Subs {
+				subs[k] = regs[r]
+			}
+			addr := sr.addrOf(inst, md, subs)
+			if in.Direct {
+				// Elided: the label proved the read idempotent, so it
+				// references non-speculative storage with no tracking and
+				// no bail path (Definition 4, now as host-time speed).
+				regs[in.Dst] = sr.mem[addr]
+				inst.clock += sr.hier.Access(inst.proc, addr)
+				sr.tallyRef(inst, md)
+				sr.stats.TraceElidedOps++
+			} else {
+				if e := inst.buf.Lookup(addr); e != nil && (e.Written || e.ReadFromBelow) {
+					regs[in.Dst] = e.Value
+					inst.clock += sr.specLat
+				} else {
+					val := int64(0)
+					srcAge := -1
+					var lat int64
+					found := false
+					if !md.readOnly {
+						for wi := inst.age - 1 - sr.baseAge; wi >= 0; wi-- {
+							anc := sr.window[wi]
+							if e := anc.buf.Lookup(addr); e != nil && e.Written {
+								val, srcAge, lat, found = e.Value, anc.age, sr.specLat, true
+								break
+							}
+						}
+					}
+					if !found {
+						val = sr.mem[addr]
+						lat = sr.hier.Access(inst.proc, addr)
+					}
+					if !inst.buf.NoteRead(addr, val, srcAge) {
+						// Overflow: leave the load unexecuted and hand it
+						// to the interpreter, whose doLoad runs the
+						// ordinary stall-or-untracked protocol.
+						bail(in.OrigPC)
+						return
+					}
+					sr.trackOccupancy(inst)
+					regs[in.Dst] = val
+					inst.clock += lat
+				}
+				sr.tallyRef(inst, md)
+				sr.stats.TraceGuardedOps++
+			}
+		case vm.TStore:
+			md := &sr.refMeta[in.RefID]
+			subs := sr.tsubs[:len(in.Subs)]
+			for k, r := range in.Subs {
+				subs[k] = regs[r]
+			}
+			addr := sr.addrOf(inst, md, subs)
+			sr.checkViolation(inst, addr)
+			if in.Direct {
+				sr.mem[addr] = regs[in.A]
+				inst.clock += sr.hier.Access(inst.proc, addr)
+				sr.tallyRef(inst, md)
+				sr.stats.TraceElidedOps++
+			} else {
+				if !inst.buf.Write(addr, regs[in.A]) {
+					// Overflow, same protocol as loads: re-execute under
+					// the interpreter. The violation check above may have
+					// squashed younger instances already; re-running it
+					// there is harmless (their premature reads are gone).
+					bail(in.OrigPC)
+					return
+				}
+				inst.clock += sr.specLat
+				sr.trackOccupancy(inst)
+				sr.tallyRef(inst, md)
+				sr.stats.TraceGuardedOps++
+			}
+		case vm.TStepInner:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] += in.Val
+		case vm.TStep:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] += in.Val
+			ops += int64(in.Cost)
+			inst.m.PC = sb.Entry
+			flush()
+			sr.stats.TraceIterations++
+			return
+		case vm.TEnd:
+			ops += int64(in.Cost)
+			inst.m.PC = sb.Entry
+			flush()
+			sr.stats.TraceIterations++
+			return
+		}
+		ops += int64(in.Cost)
+	}
+	panic("engine: superblock without a terminating backedge")
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"testing"
+
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/lang"
+	"refidem/internal/workloads"
+)
+
+// runTracedPair labels p and runs it sequentially plus speculatively in
+// the given mode with tracing on, asserting live-out equality.
+func runTracedPair(t *testing.T, p *ir.Program, cfg Config, mode Mode) *Result {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	labs := idem.LabelProgram(p)
+	seq, err := RunSequential(p, cfg)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	cfg.Traced = true
+	res, err := RunSpeculative(p, labs, cfg, mode)
+	if err != nil {
+		t.Fatalf("traced %v: %v", mode, err)
+	}
+	if err := LiveOutMismatch(p, labs, seq, res); err != nil {
+		t.Errorf("traced %v live-outs: %v", mode, err)
+	}
+	return res
+}
+
+// TestTracedLiveOutsMatchSequential runs every named workload loop under
+// both traced engines and both machine configs: Definition 3 equivalence
+// must survive the trace tier.
+func TestTracedLiveOutsMatchSequential(t *testing.T) {
+	var iters int64
+	for _, cfgName := range []string{"default", "pressure"} {
+		cfg := DefaultConfig()
+		if cfgName == "pressure" {
+			cfg = PressureConfig()
+		}
+		for _, spec := range workloads.NamedLoops() {
+			for _, mode := range []Mode{HOSE, CASE} {
+				res := runTracedPair(t, spec.Program(), cfg, mode)
+				iters += res.Stats.TraceIterations
+				if t.Failed() {
+					t.Fatalf("first failure: %s under %s/%v", spec, cfgName, mode)
+				}
+			}
+		}
+	}
+	if iters == 0 {
+		t.Fatal("no trace iterations across the whole workload suite: the tier never engaged")
+	}
+}
+
+// TestTracedGuardElision is the labels-ignored vs labels-honored
+// ablation: HOSE traces (no labels consulted — nothing bypasses) must
+// guard every memory op, CASE traces must elide the idempotent ones, and
+// the guarded-op count must drop.
+func TestTracedGuardElision(t *testing.T) {
+	spec, ok := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	if !ok {
+		t.Fatal("TOMCATV MAIN_DO80 missing")
+	}
+	hose := runTracedPair(t, spec.Program(), DefaultConfig(), HOSE)
+	caseR := runTracedPair(t, spec.Program(), DefaultConfig(), CASE)
+
+	if hose.Stats.TraceElidedOps != 0 {
+		t.Errorf("HOSE traced elided %d ops; labels must not be consulted", hose.Stats.TraceElidedOps)
+	}
+	if hose.Stats.TraceGuardedOps == 0 {
+		t.Fatal("HOSE traced guarded no ops: trace never ran")
+	}
+	if caseR.Stats.TraceElidedOps == 0 {
+		t.Fatal("CASE traced elided nothing: labels bought no guards back")
+	}
+	if caseR.Stats.TraceGuardedOps >= hose.Stats.TraceGuardedOps {
+		t.Errorf("guard elision: CASE guarded %d ops, HOSE %d — labels should reduce guards",
+			caseR.Stats.TraceGuardedOps, hose.Stats.TraceGuardedOps)
+	}
+}
+
+// TestTracedSuperblockCacheReuse runs the same program twice: the second
+// run must reuse the published superblock instead of re-recording.
+func TestTracedSuperblockCacheReuse(t *testing.T) {
+	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	p := spec.Program()
+	labs := idem.LabelProgram(p)
+	cfg := DefaultConfig()
+	cfg.Traced = true
+
+	first, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.TracesCompiled == 0 {
+		t.Fatal("first run compiled no traces")
+	}
+	second, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.TracesCompiled != 0 {
+		t.Errorf("second run recompiled %d traces; want cache reuse", second.Stats.TracesCompiled)
+	}
+	if second.Stats.TraceIterations == 0 {
+		t.Error("second run executed no trace iterations despite a cached superblock")
+	}
+}
+
+// TestTracedLabelOverrideChangesKey flips one idempotent reference to
+// speculative: the traced cache must not serve the superblock compiled
+// for the original labeling (stale elision bits would bypass speculative
+// storage for a now-speculative reference).
+func TestTracedLabelOverrideChangesKey(t *testing.T) {
+	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	p := spec.Program()
+	labs := idem.LabelProgram(p)
+	cfg := DefaultConfig()
+	cfg.Traced = true
+	if _, err := RunSpeculative(p, labs, cfg, CASE); err != nil {
+		t.Fatal(err)
+	}
+	// Demote the first idempotent reference (always safe) and rerun.
+	r := p.Regions[0]
+	lab := labs[r]
+	var flipped *ir.Ref
+	for _, ref := range r.Refs {
+		if lab.Label(ref) == idem.Idempotent {
+			lab.SetLabel(ref, idem.Speculative)
+			flipped = ref
+			break
+		}
+	}
+	if flipped == nil {
+		t.Skip("no idempotent reference to flip")
+	}
+	seq, err := RunSequential(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSpeculative(p, labs, cfg, CASE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TracesCompiled == 0 {
+		t.Error("override did not force a fresh superblock (stale cache key)")
+	}
+	if err := LiveOutMismatch(p, labs, seq, res); err != nil {
+		t.Errorf("live-outs after override: %v", err)
+	}
+}
+
+// TestTracedEarlyExitRegion pins traced behavior on a region with a
+// data-dependent exit: the exit statement stays outside any superblock
+// (OpExit is uncompilable), the inner loop still traces, and results
+// match the sequential engine.
+func TestTracedEarlyExitRegion(t *testing.T) {
+	src := `
+program early
+var a[64]
+var s
+region r loop j = 0 to 40 {
+  liveout a, s
+  for i = 0 to 15 {
+    a[i] = a[i] + j
+  }
+  s = s + 1
+  exit if s >= 25
+}
+`
+	for _, mode := range []Mode{HOSE, CASE} {
+		res := runTracedPair(t, lang.MustParse(src), DefaultConfig(), mode)
+		if res.Stats.TraceIterations == 0 {
+			t.Errorf("%v: inner loop should still trace (exit is outside it)", mode)
+		}
+	}
+}

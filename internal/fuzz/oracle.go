@@ -2,8 +2,9 @@
 // drives internal/gen scenarios through a wall of oracles — structural
 // validation, printer/parser round-trip, theorem conformance of the
 // labeling, sequential-vs-HOSE-vs-CASE final-memory equivalence under
-// both the default and the buffer-pressure machine, and the CASE
-// occupancy bound — then shrinks any failing program to a minimal
+// both the default and the buffer-pressure machine, the CASE occupancy
+// bound, and traced-vs-untraced live-out identity with the trace JIT
+// enabled — then shrinks any failing program to a minimal
 // reproducer and records it in a seed corpus for byte-exact replay.
 package fuzz
 
@@ -26,6 +27,7 @@ const (
 	KindLemma2    = "lemma2-case"
 	KindOccupancy = "occupancy"
 	KindPressure  = "pressure"
+	KindTraced    = "traced"
 	KindEngine    = "engine-error"
 )
 
@@ -69,6 +71,9 @@ func fail(kind, format string, args ...any) *Verdict {
 //  5. lemma2     — CASE final live-out memory equals sequential
 //  6. occupancy  — CASE peak speculative occupancy <= HOSE peak
 //  7. pressure   — lemmas 1-2 again under a tiny speculative storage
+//  8. traced     — both engines with the trace JIT on, under both the
+//     default and the pressure machine, still match sequential live-outs
+//     (superblock guards, elision and bailouts must be invisible)
 func CheckProgram(p *ir.Program, o OracleOptions) *Verdict {
 	if err := p.Validate(); err != nil {
 		return fail(KindValidate, "%v", err)
@@ -136,6 +141,23 @@ func CheckProgram(p *ir.Program, o OracleOptions) *Verdict {
 		}
 		if err := engine.LiveOutMismatch(p, labs, pseq, res); err != nil {
 			return fail(KindPressure, "%v under pressure: %v", mode, err)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  engine.Config
+		seq  *engine.Result
+	}{{"default", cfg, seq}, {"pressure", pc, pseq}} {
+		tcfg := tc.cfg
+		tcfg.Traced = true
+		for _, mode := range []engine.Mode{engine.HOSE, engine.CASE} {
+			res, err := engine.RunSpeculative(p, labs, tcfg, mode)
+			if err != nil {
+				return fail(KindEngine, "traced %v (%s): %v", mode, tc.name, err)
+			}
+			if err := engine.LiveOutMismatch(p, labs, tc.seq, res); err != nil {
+				return fail(KindTraced, "%v traced (%s machine): %v", mode, tc.name, err)
+			}
 		}
 	}
 	return nil

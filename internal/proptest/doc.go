@@ -1,0 +1,10 @@
+// Package proptest holds the cross-cutting property-based tests:
+// hundreds of seeded random programs are pushed through the full pipeline
+// and both execution engines, validating the paper's lemmas end to end.
+// All program generation goes through internal/gen — the same subsystem
+// the differential fuzzer (cmd/fuzz) drives at scale.
+//
+// The package has no non-test API; this file exists so the package
+// documents itself like every other package in the tree (and so
+// scripts/doc_lint.sh can hold it to the same rule).
+package proptest

@@ -1,8 +1,3 @@
-// Package proptest holds the cross-cutting property-based tests: hundreds
-// of seeded random programs are pushed through the full pipeline and both
-// execution engines, validating the paper's lemmas end to end. All
-// program generation goes through internal/gen — the same subsystem the
-// differential fuzzer (cmd/fuzz) drives at scale.
 package proptest
 
 import (

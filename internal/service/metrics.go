@@ -63,6 +63,16 @@ type Metrics struct {
 	batches    atomic.Int64
 	batchTasks atomic.Int64
 
+	// Trace-JIT counters, aggregated over computed simulate requests
+	// (all zero when Config.Engine.Traced is off). traceCompiled counts
+	// superblocks compiled, traceBailouts counts guard failures and
+	// overflow bailouts back to the interpreter, guardElided counts
+	// memory references that ran direct inside traces because their
+	// idempotency label removed the guard.
+	traceCompiled atomic.Int64
+	traceBailouts atomic.Int64
+	guardElided   atomic.Int64
+
 	// Latency histogram over completed requests (coalesced waiters
 	// included): bucket i counts latencies <= 2^i µs.
 	latency [latencyBuckets + 1]atomic.Int64
@@ -102,6 +112,7 @@ type Snapshot struct {
 	StoreWrites, StoreWriteErrors               int64
 	StoreDroppedWrites, StoreCorrupt            int64
 	StoreDegradedEvents, StoreRecoveries        int64
+	TraceCompiled, TraceBailouts, GuardElided   int64
 }
 
 // SnapshotNow copies the counters.
@@ -127,6 +138,9 @@ func (m *Metrics) SnapshotNow() Snapshot {
 		StoreCorrupt:        m.storeCorrupt.Load(),
 		StoreDegradedEvents: m.storeDegradedEvents.Load(),
 		StoreRecoveries:     m.storeRecoveries.Load(),
+		TraceCompiled:       m.traceCompiled.Load(),
+		TraceBailouts:       m.traceBailouts.Load(),
+		GuardElided:         m.guardElided.Load(),
 	}
 	for i := range m.latency {
 		s.LatencyCount += m.latency[i].Load()
@@ -152,6 +166,9 @@ func (s *Server) RenderMetricz() string {
 	w("tasks_computed", m.computed.Load())
 	w("dispatch_batches", m.batches.Load())
 	w("dispatch_batch_tasks", m.batchTasks.Load())
+	w("trace_compiled", m.traceCompiled.Load())
+	w("trace_bailouts", m.traceBailouts.Load())
+	w("guard_elided", m.guardElided.Load())
 
 	w("response_cache_hits", m.respHits.Load())
 	if s.resp != nil {

@@ -231,6 +231,11 @@ type Health struct {
 	Status string `json:"status"`
 	// Store is "ok", "degraded" or "disabled".
 	Store string `json:"store"`
+	// Tracing reports whether the simulate engines run with the trace
+	// JIT enabled (Config.Engine.Traced). It changes simulate cycle
+	// counts, never results, so clients comparing documents across
+	// servers need to know.
+	Tracing bool `json:"tracing"`
 	// StoreQuarantined counts records the backend quarantined (recovery
 	// scan plus runtime detections). Always 0 when the store is disabled.
 	StoreQuarantined int64 `json:"store_quarantined"`
@@ -246,6 +251,7 @@ func (s *Server) Health() Health {
 	h := Health{
 		Status:           "ok",
 		Store:            s.StoreStateNow().String(),
+		Tracing:          s.cfg.Engine.Traced,
 		StoreWarmHits:    s.metrics.storeWarmHits.Load(),
 		StoreWarmEntries: s.metrics.storeWarmEntries.Load(),
 	}

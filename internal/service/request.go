@@ -205,25 +205,41 @@ func renderLabelResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*
 	return marshalResponse(doc)
 }
 
+// traceTally aggregates the trace-JIT counters of one simulate
+// computation (all zero when the server runs untraced). It rides next to
+// the response bytes so the metrics counters can advance without the
+// JSON document changing shape.
+type traceTally struct {
+	compiled int64
+	bailouts int64
+	elided   int64
+}
+
 // renderSimulateResponse executes the labeled program under all three
 // models on cfg, verifies the speculative runs against the sequential
 // memory state, and builds the simulate document.
-func renderSimulateResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*idem.Result, cfg engine.Config) ([]byte, error) {
+func renderSimulateResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*idem.Result, cfg engine.Config) ([]byte, traceTally, error) {
+	var tt traceTally
 	seq, err := engine.RunSequential(p, cfg)
 	if err != nil {
-		return nil, err
+		return nil, tt, err
 	}
 	hose, err := engine.RunSpeculative(p, labs, cfg, engine.HOSE)
 	if err != nil {
-		return nil, err
+		return nil, tt, err
 	}
 	caseR, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
 	if err != nil {
-		return nil, err
+		return nil, tt, err
+	}
+	for _, r := range []*engine.Result{hose, caseR} {
+		tt.compiled += r.Stats.TracesCompiled
+		tt.bailouts += r.Stats.TraceBailouts
+		tt.elided += r.Stats.TraceElidedOps
 	}
 	for _, r := range []*engine.Result{hose, caseR} {
 		if err := engine.LiveOutMismatch(p, labs, seq, r); err != nil {
-			return nil, fmt.Errorf("%v run produced wrong results: %v", r.Mode, err)
+			return nil, tt, fmt.Errorf("%v run produced wrong results: %v", r.Mode, err)
 		}
 	}
 	doc := SimulateResponse{
@@ -253,7 +269,8 @@ func renderSimulateResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Regio
 		}
 		doc.Models = append(doc.Models, row)
 	}
-	return marshalResponse(doc)
+	b, err := marshalResponse(doc)
+	return b, tt, err
 }
 
 // refText renders a reference as "access var[subs]" (the cmd/idemlabel

@@ -496,7 +496,13 @@ func (s *Server) run(t *task) {
 		if t.key.capacity > 0 {
 			cfg.SpecCapacity = t.key.capacity
 		}
-		t.resp, t.err = renderSimulateResponse(t.key.fp, prog, labs, cfg)
+		var tt traceTally
+		t.resp, tt, t.err = renderSimulateResponse(t.key.fp, prog, labs, cfg)
+		if t.err == nil {
+			s.metrics.traceCompiled.Add(tt.compiled)
+			s.metrics.traceBailouts.Add(tt.bailouts)
+			s.metrics.guardElided.Add(tt.elided)
+		}
 	default:
 		t.err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, t.key.op)
 	}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"refidem/internal/workloads"
+)
+
+// TestTracedServerCounters runs a simulate request on a server with the
+// trace JIT enabled and checks the observability surface: /metricz gains
+// live trace counters and /healthz reports tracing on. The response
+// itself must still verify (live-outs equal sequential) — tracing is an
+// execution strategy, not a result change.
+func TestTracedServerCounters(t *testing.T) {
+	spec, ok := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	if !ok {
+		t.Fatal("TOMCATV MAIN_DO80 missing")
+	}
+	cfg := testConfig()
+	cfg.Engine.Traced = true
+	s := New(cfg)
+	defer s.Close()
+
+	resp, err := s.Simulate(context.Background(), Request{Program: spec.Src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc SimulateResponse
+	if err := json.Unmarshal(resp, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Verified {
+		t.Error("traced simulate response not verified")
+	}
+
+	snap := s.Metrics().SnapshotNow()
+	if snap.TraceCompiled == 0 {
+		t.Error("trace JIT compiled nothing on a hot-loop program")
+	}
+	if snap.GuardElided == 0 {
+		t.Error("CASE trace elided no guards on TOMCATV (idempotent refs abound)")
+	}
+	out := s.RenderMetricz()
+	for _, name := range []string{"trace_compiled ", "trace_bailouts ", "guard_elided "} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metricz missing %q:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "trace_compiled 0\n") {
+		t.Error("metricz reports trace_compiled 0 after a traced simulate")
+	}
+	if !s.Health().Tracing {
+		t.Error("healthz does not report tracing enabled")
+	}
+}
+
+// TestUntracedServerCountersZero pins the default: no tracing flag, no
+// trace activity, healthz says so.
+func TestUntracedServerCountersZero(t *testing.T) {
+	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
+	s := New(testConfig())
+	defer s.Close()
+	if _, err := s.Simulate(context.Background(), Request{Program: spec.Src}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.RenderMetricz()
+	for _, want := range []string{"trace_compiled 0\n", "trace_bailouts 0\n", "guard_elided 0\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metricz missing %q on an untraced server", want)
+		}
+	}
+	if s.Health().Tracing {
+		t.Error("healthz reports tracing on an untraced server")
+	}
+}

@@ -1,0 +1,599 @@
+package vm
+
+// Trace-guided superblocks: the VM's second execution tier.
+//
+// The interpreter (vm.go) pauses at every memory reference so the engine
+// can resolve it speculatively. That protocol is what makes speculation
+// simulatable, but it also makes every loop iteration pay the full
+// event-dispatch cost even when the engine's labeling already proved most
+// references idempotent. This file adds the machinery to buy that cost
+// back:
+//
+//   - A Recorder counts backedge executions (loop-tail jumps) and, once a
+//     backedge turns hot, captures a window of dynamically executed
+//     instruction addresses.
+//   - The hottest inter-backedge path in the window — one full iteration
+//     of the hot loop, from the loop-header test back around to itself —
+//     is compiled by CompileTrace into a straight-line Superblock:
+//     branches become guards that bail back to the interpreter, and
+//     memory references carry a Direct bit when the caller's idempotency
+//     predicate proves they may bypass speculative buffering entirely.
+//   - Machine.StepTraced interprets as usual but yields EvTraceEntry
+//     whenever the program counter reaches the superblock entry, so the
+//     caller (the engine's trace executor) can run compiled iterations
+//     without per-instruction dispatch. Machine.StepRecorded interprets
+//     while feeding the Recorder.
+//
+// The central invariant making bailouts trivial: a trace executes its
+// instructions in the exact original order, with every guard placed at
+// its original branch position and every register effect (including the
+// shadow constant registers of fused superinstructions) replicated
+// exactly. Machine state at any trace point therefore equals interpreter
+// state at the corresponding original program counter — so any exit, be
+// it a failed guard or a speculative-storage overflow, only has to set
+// Machine.PC to the right original address and resume interpretation. No
+// checkpointing, no undo log, no re-execution of committed work.
+
+import (
+	"refidem/internal/ir"
+)
+
+// TraceConfig tunes hot-trace detection and superblock size.
+type TraceConfig struct {
+	// HotThreshold is how many times a backedge must execute before the
+	// recorder starts capturing (the counter-triggered part of "record N
+	// dynamic instructions per hot loop").
+	HotThreshold int
+	// RecordWindow is the number of dynamic instructions captured once a
+	// backedge is hot; the hottest inter-backedge path inside the window
+	// becomes the trace.
+	RecordWindow int
+	// MaxTraceLen bounds the compiled superblock length; longer candidate
+	// paths are rejected rather than truncated (a truncated trace could
+	// not end on a backedge).
+	MaxTraceLen int
+}
+
+// DefaultTraceConfig returns the tuning used by the engines: hot after 4
+// backedges, a 2048-instruction window (roughly 30 iterations of a
+// TOMCATV-sized loop body), superblocks up to 192 trace instructions.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{HotThreshold: 4, RecordWindow: 2048, MaxTraceLen: 192}
+}
+
+// TOp is a trace-instruction opcode. Trace ops mirror the interpreter ops
+// they were compiled from but carry their control decision (taken or not)
+// baked in; the ops that could go the other way become guards.
+type TOp uint8
+
+const (
+	// TConst: Regs[Dst] = Val.
+	TConst TOp = iota
+	// TBin: Regs[Dst] = BinOp(Regs[A], Regs[B]).
+	TBin
+	// TImmR: Regs[SubR] = Val; Regs[Dst] = BinOp(Regs[A], Val) — the
+	// trace form of OpFusedImmR, shadow register write included.
+	TImmR
+	// TImmL: Regs[SubR] = Val; Regs[Dst] = BinOp(Val, Regs[B]).
+	TImmL
+	// TGuardZ guards an OpJz: the trace recorded one direction; if
+	// Regs[A]'s zeroness disagrees with ExpectZero the trace bails to
+	// Bail (the other branch target).
+	TGuardZ
+	// TGuardTest guards an OpFusedTest (loop-header bound check): the
+	// shadow write, comparison and condition-register write always
+	// execute (matching the interpreter on both paths); a direction
+	// mismatch bails to Bail.
+	TGuardTest
+	// TLoad is a memory read. Direct loads read non-speculative storage
+	// inline; guarded loads go through the caller's speculative protocol
+	// and may bail to OrigPC on overflow.
+	TLoad
+	// TStore is a memory write, with the same Direct/guarded split.
+	TStore
+	// TStepInner is an unconditional loop step executed mid-trace (the
+	// backedge of a loop nested inside the traced one, or of an enclosing
+	// loop): shadow write plus index increment, no control transfer.
+	TStepInner
+	// TStep ends the trace iteration via the hot backedge itself: shadow
+	// write, index increment, and control returns to Entry.
+	TStep
+	// TEnd ends the trace iteration via an unfused backward jump (no
+	// index arithmetic of its own).
+	TEnd
+)
+
+// TInstr is one superblock instruction. Cost is the number of original
+// interpreter ops this instruction accounts for (fused ops count as their
+// shadowed triple, and folded-away unconditional jumps are added to the
+// following instruction), so traced cycle accounting can reproduce the
+// interpreter's exactly.
+type TInstr struct {
+	Op         TOp
+	Dst        int32
+	A          int32
+	B          int32
+	SubR       int32 // shadow constant register of fused-derived ops
+	RefID      int32 // dense ir.Ref ID for memory ops
+	Bail       int32 // original pc a failed guard resumes at
+	OrigPC     int32 // original pc of a memory op (overflow bail target)
+	Cost       int32
+	ExpectZero bool // recorded direction of a guard
+	Direct     bool // idempotent memory op: bypass speculation, no bail
+	BinOp      ir.BinOp
+	Val        int64
+	Ref        *ir.Ref
+	Subs       []int32 // subscript registers of memory ops
+}
+
+// Superblock is one compiled trace: a straight-line guarded instruction
+// sequence covering a single iteration of a hot loop, entered when the
+// interpreter reaches Entry and left either around the backedge (back to
+// Entry) or through a bailout to the interpreter.
+type Superblock struct {
+	// Entry is the original pc of the trace head — the hot backedge's
+	// target, which for compiled loops is the fused header test.
+	Entry int
+	// Instrs is the trace body; the final instruction is always TStep or
+	// TEnd.
+	Instrs []TInstr
+	// Guards counts the instructions that can bail: branch guards plus
+	// non-Direct memory operations. Elided counts the memory operations
+	// the idempotency predicate proved Direct — the label-bought savings
+	// the ablation measures.
+	Guards int
+	Elided int
+}
+
+// Recorder watches an interpreting machine (via Machine.StepRecorded),
+// detects hot backedges, and captures the dynamic instruction window the
+// trace is picked from. One Recorder serves one machine at a time; Reset
+// re-arms it for new code.
+type Recorder struct {
+	cfg    TraceConfig
+	code   *Code
+	counts []uint32
+	window []int32
+	entry  int
+	active bool
+	full   bool
+}
+
+// NewRecorder returns a recorder with the given tuning.
+func NewRecorder(cfg TraceConfig) *Recorder {
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 1
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Reset points the recorder at (new) code and clears all captured state.
+func (r *Recorder) Reset(code *Code) {
+	r.code = code
+	if cap(r.counts) < len(code.Instrs) {
+		r.counts = make([]uint32, len(code.Instrs))
+	}
+	r.counts = r.counts[:len(code.Instrs)]
+	for i := range r.counts {
+		r.counts[i] = 0
+	}
+	r.window = r.window[:0]
+	r.entry = 0
+	r.active = false
+	r.full = false
+}
+
+// Full reports whether the capture window is complete; the caller should
+// stop recording and Build.
+func (r *Recorder) Full() bool { return r.full }
+
+// Hot reports whether a hot backedge has been found (recording started).
+func (r *Recorder) Hot() bool { return r.active }
+
+// note observes one executed instruction address. Before a backedge turns
+// hot it only counts; afterwards it captures the window.
+func (r *Recorder) note(pc int) {
+	if r.active {
+		if len(r.window) < r.cfg.RecordWindow {
+			r.window = append(r.window, int32(pc))
+			if len(r.window) == r.cfg.RecordWindow {
+				r.full = true
+			}
+		}
+		return
+	}
+	in := &r.code.Instrs[pc]
+	var target int
+	switch {
+	case in.Op == OpFusedStep:
+		target = in.A
+	case in.Op == OpJump && in.A <= pc:
+		target = in.A
+	default:
+		return
+	}
+	r.counts[pc]++
+	if int(r.counts[pc]) >= r.cfg.HotThreshold {
+		// The backedge just executed; the next observed pc is target, so
+		// the window starts exactly at an iteration boundary.
+		r.active = true
+		r.entry = target
+		r.window = r.window[:0]
+	}
+}
+
+// Build splits the captured window into inter-backedge paths (delimited
+// by visits to the hot entry), picks the most frequent one, and compiles
+// it. direct reports whether a memory reference may bypass speculative
+// buffering (labeled idempotent); nil means no reference may. Build
+// returns nil when no trace was captured or the hottest path is not
+// compilable (too long, or containing region-exit or halt instructions).
+func (r *Recorder) Build(direct func(*ir.Ref) bool) *Superblock {
+	if !r.active || len(r.window) == 0 {
+		return nil
+	}
+	// Chunk boundaries: every occurrence of entry starts an iteration.
+	type cand struct {
+		start, n int
+		count    int
+	}
+	var cands []cand
+	byKey := make(map[string]int)
+	var keyBuf []byte
+	start := -1
+	for i, pc := range r.window {
+		if int(pc) != r.entry {
+			continue
+		}
+		if start >= 0 {
+			chunk := r.window[start:i]
+			keyBuf = keyBuf[:0]
+			for _, p := range chunk {
+				keyBuf = append(keyBuf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+			}
+			if ci, ok := byKey[string(keyBuf)]; ok {
+				cands[ci].count++
+			} else {
+				byKey[string(keyBuf)] = len(cands)
+				cands = append(cands, cand{start: start, n: i - start, count: 1})
+			}
+		}
+		start = i
+	}
+	best := -1
+	for i := range cands {
+		if best < 0 || cands[i].count > cands[best].count {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	path := r.window[cands[best].start : cands[best].start+cands[best].n]
+	return CompileTrace(r.code, path, r.entry, r.cfg.MaxTraceLen, direct)
+}
+
+// CompileTrace compiles one recorded inter-backedge path into a
+// superblock. path lists the original pcs executed during one iteration,
+// starting at entry and ending with the backedge that returns to entry.
+// It returns nil when the path is not a valid self-contained loop
+// iteration (wrong shape, too long, or containing exit/halt/branch
+// instructions, which never belong to an iteration body).
+func CompileTrace(code *Code, path []int32, entry, maxLen int, direct func(*ir.Ref) bool) *Superblock {
+	if entry <= 0 || len(path) < 2 || (maxLen > 0 && len(path) > maxLen) {
+		return nil
+	}
+	if int(path[0]) != entry {
+		return nil
+	}
+	sb := &Superblock{Entry: entry}
+	pend := int32(0) // cost of folded unconditional jumps, charged to the next emitted op
+	emit := func(t TInstr) {
+		t.Cost += pend
+		pend = 0
+		sb.Instrs = append(sb.Instrs, t)
+	}
+	for i := 0; i < len(path); i++ {
+		pc := int(path[i])
+		if pc < 0 || pc >= len(code.Instrs) {
+			return nil
+		}
+		in := &code.Instrs[pc]
+		last := i == len(path)-1
+		next := entry
+		if !last {
+			next = int(path[i+1])
+		}
+		// straight reports the recorded successor matches the only
+		// possible one — a corrupt or truncated window fails compilation
+		// instead of producing a wrong trace.
+		straight := func(width int) bool { return last || next == pc+width }
+		switch in.Op {
+		case OpConst:
+			if !straight(1) {
+				return nil
+			}
+			emit(TInstr{Op: TConst, Dst: int32(in.Dst), Val: in.Val, Cost: 1})
+		case OpBin:
+			if !straight(1) {
+				return nil
+			}
+			emit(TInstr{Op: TBin, Dst: int32(in.Dst), A: int32(in.A), B: int32(in.B), BinOp: in.BinOp, Cost: 1})
+		case OpFusedImmR:
+			if !straight(2) {
+				return nil
+			}
+			emit(TInstr{Op: TImmR, Dst: int32(in.Dst), A: int32(in.A), Val: in.Val, BinOp: in.BinOp, SubR: int32(in.Subs[0]), Cost: 2})
+		case OpFusedImmL:
+			if !straight(2) {
+				return nil
+			}
+			emit(TInstr{Op: TImmL, Dst: int32(in.Dst), B: int32(in.B), Val: in.Val, BinOp: in.BinOp, SubR: int32(in.Subs[0]), Cost: 2})
+		case OpJump:
+			if last {
+				// The iteration's closing backedge as a plain jump (an
+				// unfused loop tail).
+				if in.A != entry {
+					return nil
+				}
+				emit(TInstr{Op: TEnd, Cost: 1})
+			} else {
+				if next != in.A {
+					return nil
+				}
+				pend++ // unconditional: fold the cost, emit nothing
+			}
+		case OpJz:
+			if last {
+				return nil // a conditional can never close the iteration
+			}
+			expectZero := next == in.B
+			bail := pc + 1
+			if !expectZero {
+				if next != pc+1 {
+					return nil
+				}
+				bail = in.B
+			}
+			if bail == entry {
+				return nil // a bail must leave the trace, not re-enter it
+			}
+			sb.Guards++
+			emit(TInstr{Op: TGuardZ, A: int32(in.A), ExpectZero: expectZero, Bail: int32(bail), Cost: 1})
+		case OpFusedTest:
+			if last {
+				return nil
+			}
+			expectZero := next == in.B
+			bail := pc + 3
+			if !expectZero {
+				if next != pc+3 {
+					return nil
+				}
+				bail = in.B
+			}
+			if bail == entry {
+				return nil
+			}
+			sb.Guards++
+			emit(TInstr{Op: TGuardTest, Dst: int32(in.Dst), A: int32(in.A), Val: in.Val, BinOp: in.BinOp,
+				SubR: int32(in.Subs[0]), ExpectZero: expectZero, Bail: int32(bail), Cost: 3})
+		case OpFusedStep:
+			if last {
+				if in.A != entry {
+					return nil
+				}
+				emit(TInstr{Op: TStep, Dst: int32(in.Dst), Val: in.Val, SubR: int32(in.Subs[0]), Cost: 3})
+			} else {
+				// A different loop's step executing mid-trace: it always
+				// jumps to its fixed target, so no guard is needed.
+				if next != in.A {
+					return nil
+				}
+				emit(TInstr{Op: TStepInner, Dst: int32(in.Dst), Val: in.Val, SubR: int32(in.Subs[0]), Cost: 3})
+			}
+		case OpLoad, OpStore:
+			// Executors keep a small fixed subscript scratch; arrays are
+			// at most a few dimensions, so 8 never binds in practice.
+			if !straight(1) || len(in.Subs) > 8 {
+				return nil
+			}
+			d := direct != nil && direct(in.Ref)
+			subs := make([]int32, len(in.Subs))
+			for k, s := range in.Subs {
+				subs[k] = int32(s)
+			}
+			t := TInstr{Dst: int32(in.Dst), A: int32(in.A), Ref: in.Ref, RefID: int32(in.Ref.ID),
+				Subs: subs, Direct: d, OrigPC: int32(pc), Cost: 1}
+			if in.Op == OpLoad {
+				t.Op = TLoad
+			} else {
+				t.Op = TStore
+			}
+			if d {
+				sb.Elided++
+			} else {
+				sb.Guards++
+			}
+			emit(t)
+		default:
+			// OpExit, OpBranch, OpHalt: never part of a loop iteration
+			// worth speculating on.
+			return nil
+		}
+	}
+	if n := len(sb.Instrs); n == 0 || (sb.Instrs[n-1].Op != TStep && sb.Instrs[n-1].Op != TEnd) {
+		return nil
+	}
+	return sb
+}
+
+// StepTraced is StepInto with a trace entry check: when the program
+// counter reaches entry the machine pauses with EvTraceEntry instead of
+// interpreting further, leaving its state exactly as the interpreter
+// would have it at entry. The caller then executes the superblock and
+// either leaves PC at entry (iteration completed around the backedge) or
+// sets it to a bailout address.
+func (m *Machine) StepTraced(ev *Event, entry int) int {
+	return m.stepObserve(ev, entry, nil)
+}
+
+// StepRecorded is StepInto feeding every executed instruction address to
+// the recorder. It is used only while hunting for a trace, so its extra
+// cost is off the steady-state path.
+func (m *Machine) StepRecorded(ev *Event, rec *Recorder) int {
+	return m.stepObserve(ev, -1, rec)
+}
+
+// stepObserve is the shared observed-interpretation loop behind
+// StepTraced (entry >= 0, rec nil) and StepRecorded (entry -1, rec set).
+// It mirrors StepInto exactly — the hot unobserved interpreter keeps its
+// own loop — plus the entry check and the recorder hook.
+func (m *Machine) stepObserve(ev *Event, entry int, rec *Recorder) int {
+	if m.pendingLoad {
+		panic("vm: Step with unresolved load")
+	}
+	ops := 0
+	pc := m.PC
+	instrs := m.Code.Instrs
+	regs := m.Regs
+	for {
+		if m.done {
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops
+		}
+		if pc >= len(instrs) {
+			m.done = true
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops
+		}
+		if pc == entry {
+			m.PC = pc
+			*ev = Event{Kind: EvTraceEntry}
+			return ops
+		}
+		if rec != nil {
+			rec.note(pc)
+		}
+		in := &instrs[pc]
+		switch in.Op {
+		case OpConst:
+			regs[in.Dst] = in.Val
+			pc++
+			ops++
+		case OpBin:
+			a, b := regs[in.A], regs[in.B]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = a + b
+			case ir.Sub:
+				v = a - b
+			case ir.Mul:
+				v = a * b
+			default:
+				v = in.BinOp.Apply(a, b)
+			}
+			regs[in.Dst] = v
+			pc++
+			ops++
+		case OpJump:
+			pc = in.A
+			ops++
+		case OpJz:
+			if regs[in.A] == 0 {
+				pc = in.B
+			} else {
+				pc++
+			}
+			ops++
+		case OpExit:
+			m.ExitRequested = true
+			pc++
+			ops++
+		case OpLoad:
+			subs := m.scratchSubs(len(in.Subs))
+			for i, r := range in.Subs {
+				subs[i] = regs[r]
+			}
+			m.pendingLoad = true
+			m.pendingDst = in.Dst
+			m.PC = pc + 1
+			*ev = Event{Kind: EvLoad, Ref: in.Ref, Subs: subs, dst: in.Dst}
+			return ops + 1
+		case OpStore:
+			subs := m.scratchSubs(len(in.Subs))
+			for i, r := range in.Subs {
+				subs[i] = regs[r]
+			}
+			m.PC = pc + 1
+			*ev = Event{Kind: EvStore, Ref: in.Ref, Subs: subs, Value: regs[in.A]}
+			return ops + 1
+		case OpBranch:
+			m.BranchVal = regs[in.A]
+			m.Branched = true
+			m.done = true
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops + 1
+		case OpHalt:
+			m.done = true
+			m.PC = pc
+			*ev = Event{Kind: EvDone}
+			return ops + 1
+		case OpFusedTest:
+			regs[in.Subs[0]] = in.Val
+			cond := in.BinOp.Apply(regs[in.A], in.Val)
+			regs[in.Dst] = cond
+			if cond == 0 {
+				pc = in.B
+			} else {
+				pc += 3
+			}
+			ops += 3
+		case OpFusedStep:
+			regs[in.Subs[0]] = in.Val
+			regs[in.Dst] += in.Val
+			pc = in.A
+			ops += 3
+		case OpFusedImmR:
+			regs[in.Subs[0]] = in.Val
+			a := regs[in.A]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = a + in.Val
+			case ir.Sub:
+				v = a - in.Val
+			case ir.Mul:
+				v = a * in.Val
+			default:
+				v = in.BinOp.Apply(a, in.Val)
+			}
+			regs[in.Dst] = v
+			pc += 2
+			ops += 2
+		case OpFusedImmL:
+			regs[in.Subs[0]] = in.Val
+			b := regs[in.B]
+			var v int64
+			switch in.BinOp {
+			case ir.Add:
+				v = in.Val + b
+			case ir.Sub:
+				v = in.Val - b
+			case ir.Mul:
+				v = in.Val * b
+			default:
+				v = in.BinOp.Apply(in.Val, b)
+			}
+			regs[in.Dst] = v
+			pc += 2
+			ops += 2
+		default:
+			panic("vm: unknown opcode in observed step")
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package vm
+
+import (
+	"testing"
+
+	"refidem/internal/ir"
+)
+
+// memKey matches runAll's addressing so traced and untraced runs hit the
+// same map cells.
+func memKey(ref *ir.Ref, subs []int64) string {
+	k := ref.Var.Name
+	for _, s := range subs {
+		k += "," + string(rune('0'+(s%10)))
+	}
+	return k
+}
+
+// recordAll drives a machine to completion under StepRecorded, resolving
+// memory against mem, and returns total ops.
+func recordAll(t *testing.T, m *Machine, rec *Recorder, mem map[string]int64) int {
+	t.Helper()
+	ops := 0
+	for i := 0; i < 100000; i++ {
+		var ev Event
+		ops += m.StepRecorded(&ev, rec)
+		switch ev.Kind {
+		case EvDone:
+			return ops
+		case EvLoad:
+			m.ResumeLoad(mem[memKey(ev.Ref, ev.Subs)])
+		case EvStore:
+			mem[memKey(ev.Ref, ev.Subs)] = ev.Value
+		}
+	}
+	t.Fatal("machine did not halt while recording")
+	return 0
+}
+
+// execTrace runs one superblock iteration against m.Regs with every
+// memory op resolved directly in mem (the vm-level stand-in for the
+// engine's executor). It returns the ops charged and whether it bailed.
+func execTrace(m *Machine, sb *Superblock, mem map[string]int64) (int, bool) {
+	regs := m.Regs
+	ops := 0
+	var subs [8]int64
+	for i := range sb.Instrs {
+		in := &sb.Instrs[i]
+		switch in.Op {
+		case TConst:
+			regs[in.Dst] = in.Val
+		case TBin:
+			regs[in.Dst] = in.BinOp.Apply(regs[in.A], regs[in.B])
+		case TImmR:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] = in.BinOp.Apply(regs[in.A], in.Val)
+		case TImmL:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] = in.BinOp.Apply(in.Val, regs[in.B])
+		case TGuardZ:
+			ops += int(in.Cost)
+			if (regs[in.A] == 0) != in.ExpectZero {
+				m.PC = int(in.Bail)
+				return ops, true
+			}
+			continue
+		case TGuardTest:
+			regs[in.SubR] = in.Val
+			cond := in.BinOp.Apply(regs[in.A], in.Val)
+			regs[in.Dst] = cond
+			ops += int(in.Cost)
+			if (cond == 0) != in.ExpectZero {
+				m.PC = int(in.Bail)
+				return ops, true
+			}
+			continue
+		case TLoad:
+			for k, r := range in.Subs {
+				subs[k] = regs[r]
+			}
+			regs[in.Dst] = mem[memKey(in.Ref, subs[:len(in.Subs)])]
+		case TStore:
+			for k, r := range in.Subs {
+				subs[k] = regs[r]
+			}
+			mem[memKey(in.Ref, subs[:len(in.Subs)])] = regs[in.A]
+		case TStepInner:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] += in.Val
+		case TStep:
+			regs[in.SubR] = in.Val
+			regs[in.Dst] += in.Val
+			ops += int(in.Cost)
+			m.PC = sb.Entry
+			return ops, false
+		case TEnd:
+			ops += int(in.Cost)
+			m.PC = sb.Entry
+			return ops, false
+		}
+		ops += int(in.Cost)
+	}
+	panic("trace fell off the end without TStep/TEnd")
+}
+
+// runTracedAll drives a machine to completion under StepTraced plus the
+// test executor, returning ops, completed trace iterations, and bails.
+func runTracedAll(t *testing.T, m *Machine, sb *Superblock, mem map[string]int64) (int, int, int) {
+	t.Helper()
+	ops, iters, bails := 0, 0, 0
+	for i := 0; i < 100000; i++ {
+		var ev Event
+		ops += m.StepTraced(&ev, sb.Entry)
+		switch ev.Kind {
+		case EvDone:
+			return ops, iters, bails
+		case EvLoad:
+			m.ResumeLoad(mem[memKey(ev.Ref, ev.Subs)])
+		case EvStore:
+			mem[memKey(ev.Ref, ev.Subs)] = ev.Value
+		case EvTraceEntry:
+			n, bailed := execTrace(m, sb, mem)
+			ops += n
+			if bailed {
+				bails++
+			} else {
+				iters++
+			}
+		}
+	}
+	t.Fatal("traced machine did not halt")
+	return 0, 0, 0
+}
+
+// loopBody is a hot loop with loads, stores, and arithmetic, followed by
+// straight-line code so the trace has a clean exit.
+func traceTestCode(t *testing.T) *Code {
+	t.Helper()
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 10)
+	b := p.AddVar("b", 10)
+	s := p.AddVar("s")
+	return compileBody(t, "k",
+		&ir.For{Index: "i", From: 0, To: 9, Step: 1, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(a, ir.Idx("i")),
+				RHS: ir.AddE(ir.Rd(a, ir.Idx("i")), ir.MulE(ir.Rd(b, ir.Idx("i")), ir.C(2)))},
+		}},
+		&ir.Assign{LHS: ir.Wr(s), RHS: ir.Rd(a, ir.C(5))},
+	)
+}
+
+func seedMem() map[string]int64 {
+	mem := map[string]int64{}
+	for i := 0; i < 10; i++ {
+		k := string(rune('0' + i))
+		mem["a,"+k] = int64(i * 3)
+		mem["b,"+k] = int64(7 - i)
+	}
+	return mem
+}
+
+func TestRecordAndBuildSuperblock(t *testing.T) {
+	code := traceTestCode(t)
+	rec := NewRecorder(DefaultTraceConfig())
+	rec.Reset(code)
+	m := NewMachine(code, 0)
+	recordAll(t, m, rec, seedMem())
+	if !rec.Hot() {
+		t.Fatal("recorder never found a hot backedge")
+	}
+	sb := rec.Build(func(*ir.Ref) bool { return true })
+	if sb == nil {
+		t.Fatal("Build returned no superblock")
+	}
+	if sb.Entry <= 0 {
+		t.Fatalf("entry = %d, want > 0", sb.Entry)
+	}
+	if last := sb.Instrs[len(sb.Instrs)-1].Op; last != TStep && last != TEnd {
+		t.Fatalf("trace ends with %d, want TStep/TEnd", last)
+	}
+	// One iteration touches a[i] (load+store) and b[i] (load); all direct
+	// under the always-idempotent predicate, leaving only the header test
+	// guarded.
+	if sb.Elided != 3 {
+		t.Errorf("Elided = %d, want 3", sb.Elided)
+	}
+	if sb.Guards != 1 {
+		t.Errorf("Guards = %d, want 1 (header test)", sb.Guards)
+	}
+
+	// Labels withheld: every memory op needs a guard.
+	sbNone := rec.Build(nil)
+	if sbNone == nil {
+		t.Fatal("Build with nil predicate failed")
+	}
+	if sbNone.Elided != 0 || sbNone.Guards != 4 {
+		t.Errorf("unlabeled trace: Elided=%d Guards=%d, want 0 and 4", sbNone.Elided, sbNone.Guards)
+	}
+}
+
+func TestTracedRunMatchesInterpreterExactly(t *testing.T) {
+	code := traceTestCode(t)
+	rec := NewRecorder(DefaultTraceConfig())
+	rec.Reset(code)
+	memRec := seedMem()
+	recordAll(t, NewMachine(code, 0), rec, memRec)
+	sb := rec.Build(func(*ir.Ref) bool { return true })
+	if sb == nil {
+		t.Fatal("no superblock")
+	}
+
+	memPlain := seedMem()
+	mPlain := NewMachine(code, 0)
+	opsPlain := runAll(t, mPlain, memPlain)
+
+	memTraced := seedMem()
+	mTraced := NewMachine(code, 0)
+	opsTraced, iters, bails := runTracedAll(t, mTraced, sb, memTraced)
+
+	if iters == 0 {
+		t.Fatal("no trace iterations executed")
+	}
+	// Exactly one bail: the header-test guard failing when the loop
+	// exhausts — the designed exit path of a traced loop.
+	if bails != 1 {
+		t.Errorf("bails = %d, want 1 (loop exit)", bails)
+	}
+	if opsTraced != opsPlain {
+		t.Errorf("traced charged %d ops, interpreter %d", opsTraced, opsPlain)
+	}
+	for k, v := range memPlain {
+		if memTraced[k] != v {
+			t.Errorf("mem[%s] = %d traced, %d plain", k, memTraced[k], v)
+		}
+	}
+	for i := range mPlain.Regs {
+		if mTraced.Regs[i] != mPlain.Regs[i] {
+			t.Errorf("reg %d = %d traced, %d plain", i, mTraced.Regs[i], mPlain.Regs[i])
+		}
+	}
+}
+
+func TestTraceGuardBailsToInterpreter(t *testing.T) {
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 10)
+	// The branch flips on the final two iterations, so a trace recorded
+	// on the early ones must bail there and let the interpreter finish
+	// the iteration.
+	code := compileBody(t, "k",
+		&ir.For{Index: "i", From: 0, To: 9, Step: 1, Body: []ir.Stmt{
+			&ir.If{
+				Cond: ir.Op(ir.Lt, ir.Idx("i"), ir.C(8)),
+				Then: []ir.Stmt{&ir.Assign{LHS: ir.Wr(a, ir.Idx("i")), RHS: ir.C(1)}},
+				Else: []ir.Stmt{&ir.Assign{LHS: ir.Wr(a, ir.Idx("i")), RHS: ir.C(2)}},
+			},
+		}},
+	)
+	rec := NewRecorder(DefaultTraceConfig())
+	rec.Reset(code)
+	recordAll(t, NewMachine(code, 0), rec, map[string]int64{})
+	sb := rec.Build(func(*ir.Ref) bool { return true })
+	if sb == nil {
+		t.Fatal("no superblock")
+	}
+
+	memPlain := map[string]int64{}
+	mPlain := NewMachine(code, 0)
+	opsPlain := runAll(t, mPlain, memPlain)
+
+	memTraced := map[string]int64{}
+	mTraced := NewMachine(code, 0)
+	opsTraced, iters, bails := runTracedAll(t, mTraced, sb, memTraced)
+
+	if bails == 0 {
+		t.Fatal("expected guard bails on the flipped branch")
+	}
+	if iters == 0 {
+		t.Fatal("expected completed trace iterations")
+	}
+	if opsTraced != opsPlain {
+		t.Errorf("traced charged %d ops, interpreter %d", opsTraced, opsPlain)
+	}
+	for k, v := range memPlain {
+		if memTraced[k] != v {
+			t.Errorf("mem[%s] = %d traced, %d plain", k, memTraced[k], v)
+		}
+	}
+}
+
+func TestBuildRejectsExitInTrace(t *testing.T) {
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 10)
+	// OpExit executes every iteration: no valid superblock may contain
+	// it, so Build must refuse rather than speculate past a region exit.
+	code := compileBody(t, "k",
+		&ir.For{Index: "i", From: 0, To: 9, Step: 1, Body: []ir.Stmt{
+			&ir.ExitRegion{Cond: ir.C(1)},
+			&ir.Assign{LHS: ir.Wr(a, ir.Idx("i")), RHS: ir.C(1)},
+		}},
+	)
+	rec := NewRecorder(DefaultTraceConfig())
+	rec.Reset(code)
+	recordAll(t, NewMachine(code, 0), rec, map[string]int64{})
+	if !rec.Hot() {
+		t.Fatal("recorder never went hot")
+	}
+	if sb := rec.Build(nil); sb != nil {
+		t.Fatal("Build accepted a trace containing OpExit")
+	}
+}
+
+func TestRecorderIgnoresColdLoops(t *testing.T) {
+	p := ir.NewProgram("t")
+	a := p.AddVar("a", 4)
+	// Two iterations: below the hot threshold, nothing records.
+	code := compileBody(t, "k",
+		&ir.For{Index: "i", From: 0, To: 1, Step: 1, Body: []ir.Stmt{
+			&ir.Assign{LHS: ir.Wr(a, ir.Idx("i")), RHS: ir.C(1)},
+		}},
+	)
+	rec := NewRecorder(DefaultTraceConfig())
+	rec.Reset(code)
+	recordAll(t, NewMachine(code, 0), rec, map[string]int64{})
+	if rec.Hot() {
+		t.Fatal("two backedge executions must stay below the default hot threshold")
+	}
+	if sb := rec.Build(nil); sb != nil {
+		t.Fatal("Build produced a superblock without a hot trace")
+	}
+}

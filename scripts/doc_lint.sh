@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# doc_lint.sh — the documentation CI gate.
+#
+# Every package in the module must carry a package-level doc comment in a
+# non-test file: a comment block ending on the line directly above the
+# package clause. Library packages conventionally start it "Package
+# <name> ..." and commands "Command <name> ..." but the gate only
+# requires that the comment exists — godoc renders whatever it says.
+#
+# Usage: scripts/doc_lint.sh   (exit 1 and list offenders on failure)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=0
+for pkg in $(go list ./...); do
+  dir=$(go list -f '{{.Dir}}' "$pkg")
+  ok=0
+  for f in "$dir"/*.go; do
+    case "$f" in *_test.go) continue ;; esac
+    [ -e "$f" ] || continue
+    # A documented file has its package clause immediately preceded by a
+    # comment line (// or a */ block end).
+    if awk '
+      /^package / { if (prev ~ /^\/\// || prev ~ /\*\/[[:space:]]*$/) found = 1; exit }
+      { prev = $0 }
+      END { exit !found }
+    ' "$f"; then
+      ok=1
+      break
+    fi
+  done
+  if [ "$ok" -eq 0 ]; then
+    echo "doc_lint: $pkg has no package doc comment in any non-test file" >&2
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  echo "doc_lint: FAIL — add a package comment (// Package <name> ... or // Command <name> ...) above the package clause" >&2
+  exit 1
+fi
+echo "doc_lint: all $(go list ./... | wc -l) packages documented"
