@@ -10,8 +10,11 @@ package refidem
 import (
 	"testing"
 
+	"refidem/internal/cfg"
+	"refidem/internal/deps"
 	"refidem/internal/engine"
 	"refidem/internal/experiments"
+	"refidem/internal/idem"
 	"refidem/internal/workloads"
 )
 
@@ -158,6 +161,62 @@ func BenchmarkAnalysisPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		LabelProgram(p)
+	}
+}
+
+// BenchmarkAnalysisPipelineEnsemble is BenchmarkAnalysisPipeline with the
+// sound dependence-ensemble members (range pre-filter, must-write-first)
+// in the chain: same labels by construction, plus per-reference
+// P(idempotent). The gap to the exact-only row is the chain's overhead.
+func BenchmarkAnalysisPipelineEnsemble(b *testing.B) {
+	p := workloads.ButsDO1(8)
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ens := deps.Ensemble{Range: true, MustWriteFirst: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idem.LabelProgramEnsemble(p, ens)
+	}
+}
+
+// BenchmarkDepsQueryExact measures the dependence solver plus a full
+// sweep of the dense CSR query surface (SinksAt/SourcesAt over every
+// reference) on the BUTS loop. The query sweep allocates nothing — the
+// CSR slices are views — so allocs/op is the solver's alone and the
+// bench gate pins it exactly.
+func BenchmarkDepsQueryExact(b *testing.B) { benchDepsQuery(b, nil) }
+
+// BenchmarkDepsQueryEnsemble is the same sweep through the collaborative
+// ensemble with the sound members enabled: identical dependence set and
+// query results, with the range member short-circuiting pairs ahead of
+// the exact solver.
+func BenchmarkDepsQueryEnsemble(b *testing.B) {
+	benchDepsQuery(b, &deps.Ensemble{Range: true, MustWriteFirst: true})
+}
+
+func benchDepsQuery(b *testing.B, ens *deps.Ensemble) {
+	p := workloads.ButsDO1(8)
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	r := p.Regions[0]
+	g := cfg.FromRegion(r)
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var a *deps.Analysis
+		if ens == nil {
+			a = deps.Analyze(r, g)
+		} else {
+			a = deps.AnalyzeWith(r, g, ens)
+		}
+		for _, ref := range r.Refs {
+			sink += len(a.SinksAt(ref)) + len(a.SourcesAt(ref))
+		}
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
 	}
 }
 

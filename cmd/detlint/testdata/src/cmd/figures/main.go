@@ -1,0 +1,22 @@
+// Command figures is a fixture: a named map type ranged in a serialized
+// package, plus a renamed time import.
+package main
+
+import (
+	"fmt"
+	clock "time"
+)
+
+type counts map[string]int
+
+var global = counts{"a": 1}
+
+func main() {
+	for k := range global { // finding: range-map (named map type via var)
+		fmt.Println(k)
+	}
+	for k := range (counts{"b": 2}) { // finding: range-map (map literal)
+		fmt.Println(k)
+	}
+	fmt.Println(clock.Now()) // finding: time-now (renamed import)
+}

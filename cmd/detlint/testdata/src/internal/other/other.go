@@ -1,0 +1,13 @@
+// Package other is a fixture outside the serialized set: map ranges are
+// fine here, but math/rand is not.
+package other
+
+import "math/rand" // finding: math-rand
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // no finding: not a serialized package
+		total += v
+	}
+	return total + rand.Int()
+}

@@ -1,0 +1,25 @@
+// Package report is a fixture: determinism-clean patterns plus one
+// annotated suppression.
+package report
+
+import "sort"
+
+type set map[string]bool
+
+func render(s set, rows []string) string {
+	// The sanctioned shape: sorted key slice, deterministic order.
+	keys := make([]string, 0, len(s))
+	//detlint:allow range-map
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k
+	}
+	for _, r := range rows { // slice range: no finding
+		out += r
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+// Package service is a fixture: every construct here is a violation.
+package service
+
+import "time"
+
+type cache struct {
+	entries map[string]int
+}
+
+func render(c *cache) string {
+	out := ""
+	m := make(map[string]int)
+	for k := range m { // finding: range-map (make assignment)
+		out += k
+	}
+	for k, v := range c.entries { // finding: range-map (map-typed field)
+		out += k
+		_ = v
+	}
+	for k := range index() { // finding: range-map (map-returning func)
+		out += k
+	}
+	_ = time.Now() // finding: time-now (bad.go is not allowlisted)
+	return out
+}
+
+func index() map[string]bool { return nil }

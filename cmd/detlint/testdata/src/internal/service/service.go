@@ -1,0 +1,10 @@
+package service
+
+import "time"
+
+// latency is fine here: internal/service/service.go carries a time-now
+// allowlist entry for the request-latency clock.
+func latency() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

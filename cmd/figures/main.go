@@ -127,5 +127,12 @@ func ablations(w io.Writer, cfg engine.Config, workers int) error {
 		return err
 	}
 	fmt.Fprintln(w, experiments.RenderAssociativity(tom.String(), ap))
+	fmt.Fprintln(w)
+
+	er, err := experiments.AblationEnsemble(experiments.DefaultEnsemblePrograms(), engine.PressureConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, experiments.RenderEnsemble(er))
 	return nil
 }

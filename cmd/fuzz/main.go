@@ -15,7 +15,8 @@
 //	fuzz -shards 8 -n 2000                # the nightly configuration
 //	fuzz -profile calls-nested -n 500     # pin one scenario profile
 //	fuzz -corpus testdata/corpus -n 1000  # write minimized reproducers
-//	fuzz -break-labeling -n 50            # prove the wall catches faults
+//	fuzz -break-labeling -n 50            # prove the wall catches label faults
+//	fuzz -break-ensemble -n 50            # prove the wall catches bad speculation
 //	fuzz -replay-corpus dir               # re-run checked-in reproducers
 //	fuzz -list-profiles
 package main
@@ -50,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	corpus := fs.String("corpus", "", "directory to write minimized reproducers to")
 	breakLab := fs.Bool("break-labeling", false,
 		"deliberately corrupt the labeling (force one speculative write idempotent): the wall must catch it")
+	breakEns := fs.Bool("break-ensemble", false,
+		"deliberately corrupt the dependence ensemble (annotate a real dependence 'never aliases'): the wall must catch it")
 	shrinkLimit := fs.Int("shrink-limit", 20, "max failures to shrink (in index order)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this long (0 = no limit); a timed-out sweep exits 2")
 	replay := fs.String("replay-corpus", "",
@@ -84,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Shards:        *shards,
 		Profile:       *profile,
 		BreakLabeling: *breakLab,
+		BreakEnsemble: *breakEns,
 		CorpusDir:     *corpus,
 		ShrinkLimit:   *shrinkLimit,
 	})
@@ -95,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(sum.Failures) > 0 {
 		if *breakLab {
 			fmt.Fprintln(stdout, "(failures are expected under -break-labeling)")
+		}
+		if *breakEns {
+			fmt.Fprintln(stdout, "(failures are expected under -break-ensemble)")
 		}
 		return 1
 	}

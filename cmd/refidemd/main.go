@@ -78,6 +78,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		storeQ    = fs.Int("store-queue", 256, "write-behind persistence queue depth")
 		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline (answers 504; 0 disables)")
 		traced    = fs.Bool("traced", false, "run simulate engines with the trace JIT (hot loops execute as guarded superblocks; results identical, cycle counts differ)")
+		ensemble  = fs.Bool("ensemble", false, "label through the collaborative dependence ensemble (responses identical, /metricz gains per-member counters)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +95,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	cfg.StoreQueueDepth = *storeQ
 	cfg.RequestTimeout = *reqTO
 	cfg.Engine.Traced = *traced
+	cfg.Ensemble = *ensemble
 	var backend *store.FS
 	if *storeDir != "" {
 		var stats store.RecoveryStats

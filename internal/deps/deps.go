@@ -61,6 +61,14 @@ type Dep struct {
 	// Cross reports a cross-segment dependence (between different segment
 	// instances); intra-segment dependences have Cross == false.
 	Cross bool
+	// SpecConf, when > 0, is a speculative ensemble member's confidence
+	// that this dependence does not actually occur (it stays strictly
+	// below 1: confidence 1 would be a soundness claim only the exact
+	// members may make, and they refute by omitting the edge). The edge
+	// itself is still emitted, so purely sound consumers are unaffected;
+	// SpecBy names the member that produced the annotation.
+	SpecConf float64
+	SpecBy   Member
 }
 
 func (d Dep) String() string {
@@ -88,6 +96,12 @@ type Analysis struct {
 	// [0] src==r1, [1] src==r2; second index is Cross.
 	emitted [2][2]bool
 	pairR1  *ir.Ref
+
+	// Ensemble state (nil/zero outside AnalyzeWith; see ensemble.go).
+	ens     *Ensemble
+	stats   MemberStats
+	mwfVars map[*ir.Var]bool
+	obs     []RefObs
 }
 
 // SinksAt returns the dependences whose sink is ref. The slice is a view
@@ -166,9 +180,18 @@ func kindOf(src, dst *ir.Ref) Kind {
 var cursorPool = sync.Pool{New: func() any { return &[]int32{} }}
 
 // Analyze computes the may-dependences of the region. The graph must be
-// cfg.FromRegion(r) (passed in so callers can share it).
+// cfg.FromRegion(r) (passed in so callers can share it). It is the
+// exact-solver-only degenerate case of AnalyzeWith (ensemble.go).
 func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
 	a := &Analysis{Region: r}
+	a.analyze(g)
+	return a
+}
+
+// analyze runs the pair loop, orders the result deterministically, and
+// builds the CSR endpoint views.
+func (a *Analysis) analyze(g *cfg.Graph) {
+	r := a.Region
 	idx := r.DenseIndex()
 	refs := r.Refs
 	for i := 0; i < len(refs); i++ {
@@ -198,7 +221,6 @@ func Analyze(r *ir.Region, g *cfg.Graph) *Analysis {
 		return x.Kind < y.Kind
 	})
 	a.buildIndexes()
-	return a
 }
 
 // buildIndexes fills the CSR endpoint groups and the cross-sink bitset
@@ -260,10 +282,27 @@ func (a *Analysis) emit(src, dst *ir.Ref, cross bool) {
 	a.emitted[dir][ci] = true
 	d := Dep{Src: src, Dst: dst, Kind: kindOf(src, dst), Cross: cross}
 	a.All = append(a.All, d)
+	if a.ens != nil {
+		a.annotate(&a.All[len(a.All)-1])
+	}
 }
 
 // pair tests one unordered reference pair in every direction and level.
 func (a *Analysis) pair(r1, r2 *ir.Ref, g *cfg.Graph, idx *ir.RegionIndex) {
+	if a.ens != nil {
+		if a.ens.Range {
+			a.stats.Queries[MemberRange]++
+			if a.rangeRefutesPair(r1, r2, idx) {
+				// Sound refutation of every level test at once: the whole
+				// pair short-circuits past the exact solver.
+				a.stats.Hits[MemberRange]++
+				a.stats.ShortCircuits[MemberRange]++
+				return
+			}
+		}
+		a.stats.Queries[MemberExact]++
+		a.stats.Hits[MemberExact]++
+	}
 	a.pairR1 = r1
 	a.emitted = [2][2]bool{}
 	r := a.Region

@@ -99,6 +99,15 @@ type Config struct {
 	// event, so byte-deterministic consumers (goldens, the service cache)
 	// keep it off by default.
 	Traced bool
+	// SpecThreshold enables confidence-driven speculation under CASE: a
+	// reference whose ensemble-derived P(idempotent) (idem.Result.Prob)
+	// is at least the threshold bypasses speculative storage even when
+	// Algorithm 2 could not prove it idempotent; below it, the reference
+	// follows the conservative speculative protocol as usual. 0 disables
+	// the policy, and 1.0 is an exact no-op (P reaches 1 only for proved
+	// references). Promotion trades guard traffic for misspeculation
+	// risk — the threshold is the knob the ensemble ablation sweeps.
+	SpecThreshold float64
 }
 
 // DefaultConfig returns the baseline machine used by the experiments.
@@ -136,6 +145,10 @@ type Stats struct {
 	// IdemRefs counts retired references that bypassed speculative
 	// storage (CASE only).
 	IdemRefs int64
+	// SpecPromotedRefs counts retired references that bypassed only
+	// because Config.SpecThreshold promoted them (their label stayed
+	// Speculative but P(idempotent) cleared the threshold).
+	SpecPromotedRefs int64
 	// RefsByCategory counts retired references per idempotency category
 	// (indexed by idem.Category converted to int).
 	RefsByCategory [8]int64

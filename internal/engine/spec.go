@@ -37,6 +37,7 @@ const (
 type refTally struct {
 	total  int64
 	idem   int64
+	promo  int64
 	byCat  [8]int64
 	instrs int64
 }
@@ -271,6 +272,9 @@ type refMeta struct {
 	// bypass is set when this reference skips speculative storage under
 	// the current mode (CASE and labeled idempotent).
 	bypass bool
+	// promoted is set when bypass came from the SpecThreshold policy
+	// rather than a proved label (statistics only).
+	promoted bool
 	// readOnly is set when the region never writes the variable: no
 	// ancestor buffer can hold a Written entry in its address range, so
 	// loads skip the ancestor scan outright.
@@ -299,6 +303,16 @@ func (sr *specRunner) setRegion(r *ir.Region, lab *idem.Result) {
 		md.cat = uint8(lab.Category(ref))
 		md.private = lab.Info.Private(ref.Var)
 		md.bypass = sr.mode == CASE && md.label == idem.Idempotent
+		md.promoted = false
+		if sr.mode == CASE && !md.bypass && sr.cfg.SpecThreshold > 0 &&
+			lab.Prob(ref) >= sr.cfg.SpecThreshold {
+			// Confidence-driven promotion: the ensemble could not prove the
+			// reference idempotent but considers the blocking dependences
+			// absent with probability past the threshold. Misspeculation is
+			// the engine's (and the fuzz wall's) problem from here on.
+			md.bypass = true
+			md.promoted = true
+		}
 		md.readOnly = lab.Info.ReadOnly(ref.Var)
 		if md.private {
 			md.base = sr.layout.PrivOffset[ref.Var]
@@ -721,6 +735,9 @@ func (sr *specRunner) tallyRef(inst *instance, md *refMeta) {
 	if md.label == idem.Idempotent {
 		inst.tally.idem++
 	}
+	if md.promoted {
+		inst.tally.promo++
+	}
 	inst.tally.byCat[md.cat]++
 }
 
@@ -1009,6 +1026,7 @@ func (sr *specRunner) retireChain() {
 
 		sr.stats.DynRefs += inst.tally.total
 		sr.stats.IdemRefs += inst.tally.idem
+		sr.stats.SpecPromotedRefs += inst.tally.promo
 		for c := range inst.tally.byCat {
 			sr.stats.RefsByCategory[c] += inst.tally.byCat[c]
 		}

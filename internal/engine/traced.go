@@ -61,14 +61,22 @@ func (sr *specRunner) tracedSetRegion(rc *regionCode) {
 }
 
 // bypassKey encodes which references bypass speculative storage under the
-// current mode and labeling — byte-exact, so two labelings differing in a
-// single reference never share superblocks. The bits come from
-// idem.Result.IdempotentBits masked by the mode (HOSE bypasses nothing).
+// current mode, labeling and speculation policy — byte-exact, so two
+// configurations differing in a single reference never share superblocks.
+// The bits are read back from refMeta (already built when this runs)
+// rather than idem.Result.IdempotentBits: the SpecThreshold policy can
+// promote references past their labels, and a promoted bypass set must
+// key its own traces.
 func (sr *specRunner) bypassKey() string {
 	if sr.mode != CASE {
 		return ""
 	}
-	bits := sr.lab.IdempotentBits()
+	bits := ir.MakeBits(len(sr.refMeta))
+	for i := range sr.refMeta {
+		if sr.refMeta[i].bypass {
+			bits.Set(int32(i))
+		}
+	}
 	buf := make([]byte, 0, len(bits)*8)
 	for _, w := range bits {
 		for s := 0; s < 64; s += 8 {

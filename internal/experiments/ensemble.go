@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"refidem/internal/deps"
+	"refidem/internal/engine"
+	"refidem/internal/gen"
+	"refidem/internal/idem"
+	"refidem/internal/ir"
+	"refidem/internal/report"
+)
+
+// EnsembleThreshold is the speculation threshold the ensemble ablation
+// measures at: a reference is "promotable" when the confidence-weighted
+// labeling assigns it P(idempotent) >= this value, and the simulated
+// CASE runs use it as engine.Config.SpecThreshold.
+const EnsembleThreshold = 0.9
+
+// EnsembleRow is one (program, member set) sample of the ensemble
+// ablation: which members were enabled, the fraction of static
+// references at or above the speculation threshold, and the simulated
+// CASE speedup with the threshold policy active.
+type EnsembleRow struct {
+	Program   string  `json:"program"`
+	Members   string  `json:"members"`
+	PromFrac  float64 `json:"promotable_frac"`
+	Speedup   float64 `json:"case_speedup"`
+	Overflows int64   `json:"case_overflows"`
+}
+
+// ensembleConfigs is the member ladder the ablation climbs. The range
+// member cannot move labels or probabilities (it only short-circuits
+// pairs the exact solver would refute anyway), so its row doubles as a
+// built-in soundness display: it must equal the exact row.
+var ensembleConfigs = []struct {
+	label   string
+	mwf     bool
+	profile bool
+	rng     bool
+}{
+	{"exact", false, false, false},
+	{"+range", false, false, true},
+	{"+mwf", true, false, true},
+	{"+profile", true, true, true},
+}
+
+// DefaultEnsemblePrograms returns the pinned generator scenarios the
+// ensemble ablation measures. The seeds are chosen so the replay-profile
+// member has genuinely disjoint observed address ranges to speculate on:
+// each program carries indirect or coupled subscripts the exact solver
+// must keep, which the profiled input never realizes.
+func DefaultEnsemblePrograms() []NamedProgram {
+	specs := []struct {
+		profile string
+		seed    int64
+	}{
+		{"calls-mixed", 4},
+		{"coupled", 26},
+		{"default", 13},
+	}
+	progs := make([]NamedProgram, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		progs = append(progs, NamedProgram{
+			Name: fmt.Sprintf("%s/seed%d", s.profile, s.seed),
+			Make: func() *ir.Program {
+				prof, err := gen.ProfileByName(s.profile)
+				if err != nil {
+					panic(err)
+				}
+				return gen.FromProfile(prof, s.seed).Program
+			},
+		})
+	}
+	return progs
+}
+
+// AblationEnsemble measures what each dependence-ensemble member is
+// worth: for every program and member ladder rung it reports the
+// fraction of static references promotable at EnsembleThreshold, plus
+// the simulated CASE speedup and overflow count with
+// Config.SpecThreshold set to it. The profile member trains on the same
+// seeded input the simulation runs, collected once per program via
+// engine.CollectProfile. Callers pass the machine; the canonical figure
+// uses engine.PressureConfig(), because promotion pays off exactly where
+// speculative storage is scarce — on the default machine the promoted
+// references were never the bottleneck.
+func AblationEnsemble(progs []NamedProgram, cfg engine.Config) ([]EnsembleRow, error) {
+	var out []EnsembleRow
+	for _, np := range progs {
+		p := np.Make()
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("ensemble ablation %s: %w", np.Name, err)
+		}
+		seq, err := engine.RunSequential(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble ablation %s: %w", np.Name, err)
+		}
+		replay, err := engine.CollectProfile(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble ablation %s: %w", np.Name, err)
+		}
+		tcfg := cfg
+		tcfg.SpecThreshold = EnsembleThreshold
+		for _, mc := range ensembleConfigs {
+			ens := deps.Ensemble{Range: mc.rng, MustWriteFirst: mc.mwf}
+			if mc.profile {
+				ens.Profile = replay
+			}
+			labs := idem.LabelProgramEnsemble(p, ens)
+			res, err := engine.RunSpeculative(p, labs, tcfg, engine.CASE)
+			if err != nil {
+				return nil, fmt.Errorf("ensemble ablation %s (%s): %w", np.Name, mc.label, err)
+			}
+			out = append(out, EnsembleRow{
+				Program:   np.Name,
+				Members:   mc.label,
+				PromFrac:  promotableFraction(p, labs, EnsembleThreshold),
+				Speedup:   float64(seq.Cycles) / float64(res.Cycles),
+				Overflows: res.Stats.Overflows,
+			})
+		}
+	}
+	return out, nil
+}
+
+// promotableFraction is the fraction of static references across all
+// regions with P(idempotent) >= th under the given labeling.
+func promotableFraction(p *ir.Program, labs map[*ir.Region]*idem.Result, th float64) float64 {
+	total, cnt := 0, 0
+	for _, r := range p.Regions {
+		total += len(r.Refs)
+		res := labs[r]
+		for _, ref := range r.Refs {
+			if res.Prob(ref) >= th {
+				cnt++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cnt) / float64(total)
+}
+
+// RenderEnsemble draws the ensemble-ablation table.
+func RenderEnsemble(rows []EnsembleRow) string {
+	t := report.NewTable(
+		fmt.Sprintf("Ablation: dependence-ensemble members on the pressure machine (promotable at P >= %.1f, CASE at that threshold)",
+			EnsembleThreshold),
+		"program", "members", "promotable", "CASE speedup", "overflows")
+	for _, r := range rows {
+		t.AddRowf(r.Program, r.Members, r.PromFrac, r.Speedup, r.Overflows)
+	}
+	return t.String()
+}

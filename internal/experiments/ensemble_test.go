@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"refidem/internal/engine"
+)
+
+// TestAblationEnsembleInvariants pins the figure's structural claims:
+// the run is deterministic, the range member never moves labels or
+// probabilities (its row equals the exact row), the speculative profile
+// member strictly increases the promotable fraction on at least one
+// pinned generator program, and promotable fractions never decrease as
+// members are added.
+func TestAblationEnsembleInvariants(t *testing.T) {
+	cfg := engine.PressureConfig()
+	rows, err := AblationEnsemble(DefaultEnsemblePrograms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := AblationEnsemble(DefaultEnsemblePrograms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("ensemble ablation is not deterministic")
+	}
+
+	perProg := make(map[string]map[string]EnsembleRow)
+	for _, r := range rows {
+		if perProg[r.Program] == nil {
+			perProg[r.Program] = make(map[string]EnsembleRow)
+		}
+		perProg[r.Program][r.Members] = r
+	}
+	gain := false
+	for prog, m := range perProg {
+		exact, rng, mwf, full := m["exact"], m["+range"], m["+mwf"], m["+profile"]
+		if exact.PromFrac != rng.PromFrac || exact.Speedup != rng.Speedup || exact.Overflows != rng.Overflows {
+			t.Errorf("%s: the range member changed measured behavior (%+v vs %+v)", prog, exact, rng)
+		}
+		if mwf.PromFrac < rng.PromFrac || full.PromFrac < mwf.PromFrac {
+			t.Errorf("%s: promotable fraction decreased along the member ladder", prog)
+		}
+		if full.PromFrac > mwf.PromFrac {
+			gain = true
+		}
+		for _, r := range m {
+			if r.PromFrac < 0 || r.PromFrac > 1 {
+				t.Errorf("%s/%s: promotable fraction %v out of range", prog, r.Members, r.PromFrac)
+			}
+		}
+	}
+	if !gain {
+		t.Error("the profile member must strictly increase the promotable fraction on at least one program")
+	}
+}

@@ -50,6 +50,7 @@ type Summary struct {
 	Directions  []DirectionRow        `json:"ablation_directions"`
 	Granularity []GranularityPoint    `json:"ablation_granularity"`
 	Assoc       []AssocPoint          `json:"ablation_associativity"`
+	Ensemble    []EnsembleRow         `json:"ablation_ensemble"`
 }
 
 // CollectSummary runs every experiment and gathers the results.
@@ -84,6 +85,9 @@ func CollectSummary(cfg engine.Config, workers int) (*Summary, error) {
 		return nil, err
 	}
 	if s.Assoc, err = AblationAssociativity(tom, cfg, workers); err != nil {
+		return nil, err
+	}
+	if s.Ensemble, err = AblationEnsemble(DefaultEnsemblePrograms(), engine.PressureConfig()); err != nil {
 		return nil, err
 	}
 	return s, nil

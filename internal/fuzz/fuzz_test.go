@@ -75,6 +75,34 @@ func TestBrokenLabelingCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestBrokenEnsembleCaughtAndShrunk: the stage-9 self-test. Annotating
+// real cross dependences "never aliases" must be caught by the threshold
+// live-out oracle with the ensemble kind, and the failures must shrink.
+func TestBrokenEnsembleCaughtAndShrunk(t *testing.T) {
+	sum, err := Run(Options{Seed: 1, N: 30, Shards: 4, BreakEnsemble: true, ShrinkLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failures) == 0 {
+		t.Fatal("broken dependence speculation went unnoticed by the oracle wall")
+	}
+	best := -1
+	for _, f := range sum.Failures {
+		if f.Kind != KindEnsemble {
+			t.Errorf("failure %d has kind %s, want %s", f.Index, f.Kind, KindEnsemble)
+		}
+		if best == -1 || f.ReducedStmts < best {
+			best = f.ReducedStmts
+		}
+		if _, err := lang.Parse(f.Reduced); err != nil {
+			t.Fatalf("reduced program does not parse: %v\n%s", err, f.Reduced)
+		}
+	}
+	if best > 6 {
+		t.Fatalf("smallest reproducer has %d statements (> 6):\n%s", best, sum.Format())
+	}
+}
+
 // TestShrinkPreservesFailureKind: the shrinker's output still fails with
 // the kind it was shrunk for.
 func TestShrinkPreservesFailureKind(t *testing.T) {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"strings"
 
+	ccfg "refidem/internal/cfg"
+	"refidem/internal/deps"
 	"refidem/internal/engine"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
@@ -28,6 +30,7 @@ const (
 	KindOccupancy = "occupancy"
 	KindPressure  = "pressure"
 	KindTraced    = "traced"
+	KindEnsemble  = "ensemble"
 	KindEngine    = "engine-error"
 )
 
@@ -53,6 +56,14 @@ type OracleOptions struct {
 	// prove the wall catches mislabelings — a clean tree must fail under
 	// it, and the shrinker must reduce the failure to a tiny reproducer.
 	BreakLabeling bool
+	// BreakEnsemble deliberately corrupts the dependence ensemble before
+	// the stage-9 checks: every read sinking a cross-iteration dependence
+	// has all its incoming edges annotated "never aliases" at confidence
+	// 0.99 (deps.Ensemble.BreakCrossReads), so the threshold engine run
+	// promotes past real dependences. The live-out oracle must catch the
+	// resulting misspeculation — the ensemble wall's self-test, mirroring
+	// BreakLabeling.
+	BreakEnsemble bool
 }
 
 func fail(kind, format string, args ...any) *Verdict {
@@ -74,6 +85,16 @@ func fail(kind, format string, args ...any) *Verdict {
 //  8. traced     — both engines with the trace JIT on, under both the
 //     default and the pressure machine, still match sequential live-outs
 //     (superblock guards, elision and bailouts must be invisible)
+//  9. ensemble   — the collaborative dependence ensemble (range, exact,
+//     must-write-first, replay profile) is no less conservative than the
+//     exact solver: the dependence set is identical once speculative
+//     annotations are stripped, the annotations are well-formed
+//     (confidence in [0, 1), member tag set exactly when annotated), the
+//     base labels are byte-identical to LabelProgram's, and the
+//     P(idempotent) overlay reaches 1 exactly on the proved set. Under
+//     BreakEnsemble a deliberately wrong speculative annotation is
+//     injected and the threshold CASE run must be caught by the live-out
+//     oracle.
 func CheckProgram(p *ir.Program, o OracleOptions) *Verdict {
 	if err := p.Validate(); err != nil {
 		return fail(KindValidate, "%v", err)
@@ -158,6 +179,106 @@ func CheckProgram(p *ir.Program, o OracleOptions) *Verdict {
 			if err := engine.LiveOutMismatch(p, labs, tc.seq, res); err != nil {
 				return fail(KindTraced, "%v traced (%s machine): %v", mode, tc.name, err)
 			}
+		}
+	}
+	if v := checkEnsemble(p, labs, cfg, seq, o); v != nil {
+		return v
+	}
+	return nil
+}
+
+// checkEnsemble is stage 9 of the wall. labs is the (possibly
+// BreakLabeling-corrupted) base labeling; the label-identity check
+// recomputes a clean baseline when it was corrupted.
+func checkEnsemble(p *ir.Program, labs map[*ir.Region]*idem.Result,
+	cfg engine.Config, seq *engine.Result, o OracleOptions) *Verdict {
+	replay, err := engine.CollectProfile(p, cfg)
+	if err != nil {
+		return fail(KindEngine, "profile replay: %v", err)
+	}
+	ens := deps.Ensemble{
+		Range: true, MustWriteFirst: true, Profile: replay,
+		BreakCrossReads: o.BreakEnsemble,
+	}
+
+	// Conservativeness at the dependence level: member short-circuits and
+	// annotations must leave the emitted set field-identical to the exact
+	// solver's (the injected break only annotates, so it passes too).
+	for _, r := range p.Regions {
+		g := ccfg.FromRegion(r)
+		exact := deps.Analyze(r, g)
+		got := deps.AnalyzeWith(r, g, &deps.Ensemble{
+			Range: true, Profile: replay, BreakCrossReads: o.BreakEnsemble,
+		})
+		if len(got.All) != len(exact.All) {
+			return fail(KindEnsemble, "region %s: ensemble emits %d deps, exact %d",
+				r.Name, len(got.All), len(exact.All))
+		}
+		for i := range got.All {
+			d := got.All[i]
+			if d.SpecConf < 0 || d.SpecConf >= 1 {
+				return fail(KindEnsemble, "region %s: dep %v has confidence %v outside [0,1)",
+					r.Name, d, d.SpecConf)
+			}
+			if (d.SpecConf > 0) != (d.SpecBy == deps.MemberMustWriteFirst || d.SpecBy == deps.MemberProfile) {
+				return fail(KindEnsemble, "region %s: dep %v annotation conf=%v by=%v is ill-formed",
+					r.Name, d, d.SpecConf, d.SpecBy)
+			}
+			d.SpecConf, d.SpecBy = 0, 0
+			if d != exact.All[i] {
+				return fail(KindEnsemble, "region %s: dep %d differs from exact: %v vs %v",
+					r.Name, i, got.All[i], exact.All[i])
+			}
+		}
+	}
+
+	// Label and overlay invariants: base labels byte-identical, P in
+	// [0, 1], P == 1 exactly on the proved-idempotent set, theorems hold.
+	elabs := idem.LabelProgramEnsemble(p, ens)
+	base := labs
+	if o.BreakLabeling {
+		base = idem.LabelProgram(p)
+	}
+	for _, r := range p.Regions {
+		eres, bres := elabs[r], base[r]
+		for _, ref := range r.Refs {
+			if eres.Label(ref) != bres.Label(ref) {
+				return fail(KindEnsemble, "region %s: ensemble label %v != %v on %v",
+					r.Name, eres.Label(ref), bres.Label(ref), ref)
+			}
+			pr := eres.Prob(ref)
+			if pr < 0 || pr > 1 {
+				return fail(KindEnsemble, "region %s: P(%v) = %v outside [0,1]", r.Name, ref, pr)
+			}
+			if (pr == 1) != (eres.Label(ref) == idem.Idempotent) {
+				return fail(KindEnsemble, "region %s: P(%v) = %v but label is %v",
+					r.Name, ref, pr, eres.Label(ref))
+			}
+		}
+		if errs := eres.CheckTheorems(); len(errs) > 0 {
+			return fail(KindEnsemble, "region %s: %v", r.Name, errs[0])
+		}
+	}
+
+	// The speculation policy under the live-out oracle. With an honest
+	// ensemble the promoted bypass set is backed by replay evidence from
+	// the very input being run, so a squash-free execution must match
+	// sequential exactly; like the occupancy bound, runs with squashes are
+	// exempt (a squashed wrong-path instance's promoted direct stores are
+	// not undone, and may legitimately leave stray values). The injected
+	// break annotates a genuine dependence, whose misspeculation is
+	// invisible to violation detection precisely because the sink was
+	// promoted — so under BreakEnsemble the comparison is unconditional,
+	// and catching the divergence here is the wall's self-test.
+	tcfg := cfg
+	tcfg.SpecThreshold = 0.9
+	res, err := engine.RunSpeculative(p, elabs, tcfg, engine.CASE)
+	if err != nil {
+		return fail(KindEngine, "threshold CASE: %v", err)
+	}
+	if o.BreakEnsemble || res.Stats.SquashedSegments == 0 {
+		if err := engine.LiveOutMismatch(p, elabs, seq, res); err != nil {
+			return fail(KindEnsemble, "threshold CASE diverged: %v", err)
 		}
 	}
 	return nil

@@ -30,6 +30,9 @@ type Options struct {
 	// BreakLabeling injects the deliberate labeling fault (see
 	// OracleOptions) — the wall's self-test.
 	BreakLabeling bool
+	// BreakEnsemble injects the deliberate dependence-speculation fault
+	// (see OracleOptions) — the ensemble stage's self-test.
+	BreakEnsemble bool
 	// CorpusDir, when non-empty, receives a minimized reproducer file
 	// per failure.
 	CorpusDir string
@@ -117,7 +120,7 @@ func RunCtx(ctx context.Context, o Options) (*Summary, error) {
 
 	scenarios := make([]*gen.Scenario, o.N)
 	verdicts := make([]*Verdict, o.N)
-	oopts := OracleOptions{BreakLabeling: o.BreakLabeling}
+	oopts := OracleOptions{BreakLabeling: o.BreakLabeling, BreakEnsemble: o.BreakEnsemble}
 	err := parallel.ForEachCtx(ctx, shards, shards, func(s int) {
 		lo, hi := s*o.N/shards, (s+1)*o.N/shards
 		for i := lo; i < hi; i++ {

@@ -30,6 +30,11 @@ type ProgramCache struct {
 	entries map[ir.Fingerprint]*cacheEntry
 	order   *list.List // front = most recently used; values are *cacheEntry
 
+	// labeler overrides LabelProgram for entry computation (SetLabeler);
+	// nil means LabelProgram. Every labeler must satisfy CheckTheorems —
+	// the cache verifies each computed labeling either way.
+	labeler func(*ir.Program) map[*ir.Region]*Result
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -83,6 +88,16 @@ func SetTestComputeHook(hook func(*ir.Program)) (restore func()) {
 	prev := testComputeHook
 	testComputeHook = hook
 	return func() { testComputeHook = prev }
+}
+
+// SetLabeler replaces the labeling function used for entry computation
+// (nil restores LabelProgram). Configure before serving: the cache does
+// not re-key on labeler identity, so switching it with resident entries
+// would mix labelings — call Purge if the cache has been used.
+func (c *ProgramCache) SetLabeler(fn func(*ir.Program) map[*ir.Region]*Result) {
+	c.mu.Lock()
+	c.labeler = fn
+	c.mu.Unlock()
 }
 
 // NewProgramCache returns a cache holding up to capacity labeled
@@ -139,7 +154,11 @@ func (c *ProgramCache) Labeled(p *ir.Program) (*ir.Program, map[*ir.Region]*Resu
 			e.err = err
 			return
 		}
-		labs := LabelProgram(e.seed)
+		labeler := c.labeler
+		if labeler == nil {
+			labeler = LabelProgram
+		}
+		labs := labeler(e.seed)
 		for r, res := range labs {
 			if errs := res.CheckTheorems(); len(errs) > 0 {
 				e.err = fmt.Errorf("region %s: theorem check failed: %v", r.Name, errs[0])

@@ -109,6 +109,10 @@ type Result struct {
 
 	labels []Label
 	cats   []Category
+	// probs is the confidence-weighted P(idempotent) overlay, computed
+	// only by the ensemble entry points (prob.go); nil means the labels
+	// are the whole story and Prob degenerates to 1/0.
+	probs []float64
 }
 
 // Label returns the label of a reference of the region.

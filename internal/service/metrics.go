@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"refidem/internal/deps"
 )
 
 // latencyBuckets is the number of power-of-two latency histogram buckets:
@@ -169,6 +171,19 @@ func (s *Server) RenderMetricz() string {
 	w("trace_compiled", m.traceCompiled.Load())
 	w("trace_bailouts", m.traceBailouts.Load())
 	w("guard_elided", m.guardElided.Load())
+
+	// Dependence-ensemble block: per-member query/answer/short-circuit
+	// counters, rendered in chain order. The counters are package-wide in
+	// internal/deps (labeling runs inside cache shards, not the server),
+	// so they aggregate every ensemble consultation in the process; all
+	// zero when Config.Ensemble is off.
+	ms := deps.MemberStatsNow()
+	names := deps.MemberNames()
+	for i, name := range names {
+		w("deps_member_"+name+"_queries", ms.Queries[i])
+		w("deps_member_"+name+"_hits", ms.Hits[i])
+		w("deps_member_"+name+"_short_circuits", ms.ShortCircuits[i])
+	}
 
 	w("response_cache_hits", m.respHits.Load())
 	if s.resp != nil {

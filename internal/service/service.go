@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"refidem/internal/deps"
 	"refidem/internal/engine"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
@@ -108,6 +109,13 @@ type Config struct {
 	// request that exceeds it fails with ErrTimeout (HTTP 504). Zero
 	// disables the deadline.
 	RequestTimeout time.Duration
+	// Ensemble labels programs through the collaborative dependence
+	// ensemble (idem.LabelProgramEnsemble) with the sound members (range
+	// pre-filter, must-write-first) enabled. Responses stay byte-identical
+	// to the plain labeler — speculative members only annotate
+	// confidences, never labels — while /metricz gains per-member query,
+	// hit and short-circuit counters.
+	Ensemble bool
 }
 
 // DefaultConfig returns the production defaults: 8 cache shards of 64
@@ -219,6 +227,11 @@ func New(cfg Config) *Server {
 	}
 	for i := range s.shards {
 		s.shards[i] = idem.NewProgramCache(cfg.CacheCapacity)
+		if cfg.Ensemble {
+			s.shards[i].SetLabeler(func(p *ir.Program) map[*ir.Region]*idem.Result {
+				return idem.LabelProgramEnsemble(p, deps.Ensemble{Range: true, MustWriteFirst: true})
+			})
+		}
 	}
 	if cfg.ResponseCache > 0 {
 		s.resp = newRespCache(cfg.Shards, cfg.ResponseCache)

@@ -5,8 +5,12 @@
 # (via `benchjson -gate`) against the checked-in BENCH_results.json
 # baseline: the gate fails if any gated benchmark's ns/op regresses by
 # more than 25% or its allocs/op grows beyond its limit. Gated:
-# BenchmarkEngine* (the simulator hot path), BenchmarkAnalysisPipeline
-# (the labeling pipeline), BenchmarkSequentialBaseline (the uniprocessor
+# BenchmarkEngine* (the simulator hot path), BenchmarkAnalysisPipeline*
+# (the labeling pipeline, exact-only and through the dependence
+# ensemble), BenchmarkDepsQuery* (the dependence solver plus the dense
+# CSR query sweep — its allocs gate is exact, pinning the
+# allocation-free query-path claim for both the exact solver and the
+# ensemble chain), BenchmarkSequentialBaseline (the uniprocessor
 # reference run) and the service benchmarks — BenchmarkServiceLabel*
 # (queue path with coalescing on/off plus the response-cache fast path)
 # and BenchmarkServiceSimulateThroughput (label + simulate pipeline) —
@@ -27,11 +31,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore}"
+BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkDepsQuery|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore}"
 BENCHTIME="${BENCHTIME:-1s}"
 BASELINE="${BASELINE:-BENCH_results.json}"
 MAX_REGRESS="${MAX_REGRESS:-0.25}"
-PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput,BenchmarkStore}"
+PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkDepsQuery,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput,BenchmarkStore}"
 ALLOC_SLACK="${ALLOC_SLACK:-0.25}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
