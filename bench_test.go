@@ -237,6 +237,12 @@ func BenchmarkEngineHOSETraced(b *testing.B) { benchEngine(b, false, true) }
 // BenchmarkEngineCASETraced is the CASE-mode traced benchmark.
 func BenchmarkEngineCASETraced(b *testing.B) { benchEngine(b, true, true) }
 
+// BenchmarkEngineCASETimelineOff is BenchmarkEngineCASE with the default
+// nil speculation timeline made explicit: its alloc gate pins that the
+// timeline hooks cost the disabled event loop nothing but pointer checks
+// (engine.Config.Timeline documents the contract; this row enforces it).
+func BenchmarkEngineCASETimelineOff(b *testing.B) { benchEngine(b, true, false) }
+
 func benchEngine(b *testing.B, useCase, traced bool) {
 	spec, _ := workloads.FindLoop("TOMCATV", "MAIN_DO80")
 	p := spec.Program()

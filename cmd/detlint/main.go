@@ -57,6 +57,7 @@ import (
 var serializedPkgs = map[string]bool{
 	"internal/service": true,
 	"internal/report":  true,
+	"internal/obs":     true,
 	"cmd/figures":      true,
 }
 

@@ -21,6 +21,7 @@ func TestFixtureFindings(t *testing.T) {
 		"cmd/figures/main.go:15:range-map", // named map type via package var
 		"cmd/figures/main.go:18:range-map", // map composite literal (parenthesized)
 		"cmd/figures/main.go:21:time-now",  // renamed time import
+		"internal/obs/obs.go:11:range-map", // map-typed field in the trace-export package
 		"internal/other/other.go:5:math-rand",
 		"internal/service/bad.go:13:range-map", // make(map) assignment
 		"internal/service/bad.go:16:range-map", // map-typed struct field

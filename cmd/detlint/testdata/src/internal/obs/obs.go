@@ -1,0 +1,15 @@
+// Package obs is a fixture: the trace-export package serializes output,
+// so the range-map rule applies here too.
+package obs
+
+type timeline struct {
+	tracks map[int]string
+}
+
+func export(t *timeline) string {
+	out := ""
+	for _, name := range t.tracks { // finding: range-map (map-typed field)
+		out += name
+	}
+	return out
+}

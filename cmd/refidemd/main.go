@@ -7,20 +7,30 @@
 //
 //	POST /v1/label     {"program": "..."} or {"example": "fig2"}
 //	POST /v1/simulate  ... plus optional "procs", "capacity"
+//	POST /v1/simulate?timeline=1  speculation timeline (Chrome trace JSON)
 //	POST /v1/batch     {"requests": [...]} (up to 256 items)
 //	GET  /healthz      liveness + store health (JSON)
 //	GET  /metricz      counters, cache/store stats, latency histogram
+//	GET  /debug/tracez flight-recorder request spans (text; ?format=json)
 //
 // Usage:
 //
 //	refidemd -addr 127.0.0.1:8347
 //	refidemd -addr 127.0.0.1:0 -shards 16 -workers 8   # ephemeral port
 //	refidemd -store /var/lib/refidem                   # persistent results
+//	refidemd -log-level info                           # request logging
+//	refidemd -debug-addr 127.0.0.1:0                   # pprof sidecar
 //
 // With -store, the daemon opens a crash-safe result store in the given
 // directory: it warm-starts from surviving records at boot (announcing the
 // recovery scan's findings), persists computed responses write-behind, and
 // degrades to memory-only serving if the store faults at runtime.
+//
+// Observability: the flight recorder keeps the last -flight request spans
+// (served on /debug/tracez; each response carries X-Refidem-Trace-Id).
+// -log-level enables structured request logging (log/slog, one line per
+// request; off by default). -debug-addr starts a second listener serving
+// net/http/pprof — the profiling surface never shares the serving mux.
 //
 // The daemon prints "listening on http://HOST:PORT" once ready (scripted
 // callers parse it to discover an ephemeral port), shuts down gracefully
@@ -35,10 +45,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +74,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return runUntil(ctx, args, stdout, stderr)
 }
 
+// parseLevel maps the -log-level flag to a slog level; empty and "off"
+// disable request logging entirely.
+func parseLevel(s string) (slog.Level, bool, error) {
+	switch strings.ToLower(s) {
+	case "", "off":
+		return 0, false, nil
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown -log-level %q (want off, debug, info, warn or error)", s)
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// logRequests wraps the API handler with one structured log line per
+// request: method, path, status, latency and the flight-recorder trace
+// ID when one was assigned. Failed (4xx/5xx) requests log at warn so an
+// -log-level warn daemon stays quiet in steady state.
+func logRequests(h http.Handler, log *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now() //detlint:allow time-now (request log timing never reaches response bytes)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		lvl := slog.LevelInfo
+		if sw.status >= 400 {
+			lvl = slog.LevelWarn
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"latency_us", time.Since(start).Microseconds(), //detlint:allow time-now (request log timing never reaches response bytes)
+		}
+		if tid := sw.Header().Get("X-Refidem-Trace-Id"); tid != "" {
+			attrs = append(attrs, "trace_id", tid)
+		}
+		log.Log(r.Context(), lvl, "request", attrs...)
+	})
+}
+
 // runUntil serves until ctx is cancelled, then drains and returns.
 func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("refidemd", flag.ContinueOnError)
@@ -79,8 +147,15 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		reqTO     = fs.Duration("request-timeout", 5*time.Second, "per-request deadline (answers 504; 0 disables)")
 		traced    = fs.Bool("traced", false, "run simulate engines with the trace JIT (hot loops execute as guarded superblocks; results identical, cycle counts differ)")
 		ensemble  = fs.Bool("ensemble", false, "label through the collaborative dependence ensemble (responses identical, /metricz gains per-member counters)")
+		flight    = fs.Int("flight", 256, "flight-recorder span ring capacity for /debug/tracez (0 disables request tracing)")
+		logLevel  = fs.String("log-level", "off", "structured request logging level: off, debug, info, warn or error")
+		debugAddr = fs.String("debug-addr", "", "separate listen address for net/http/pprof (empty disables; never served on -addr)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, logOn, err := parseLevel(*logLevel)
+	if err != nil {
 		return err
 	}
 
@@ -96,6 +171,7 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	cfg.RequestTimeout = *reqTO
 	cfg.Engine.Traced = *traced
 	cfg.Ensemble = *ensemble
+	cfg.FlightSpans = *flight
 	var backend *store.FS
 	if *storeDir != "" {
 		var stats store.RecoveryStats
@@ -120,8 +196,41 @@ func runUntil(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		closeAll()
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if logOn {
+		handler = logRequests(handler, slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level})))
+	}
+	httpSrv := &http.Server{Handler: handler}
+
+	// The pprof sidecar: its own listener and mux, so the profiling
+	// surface is reachable only where -debug-addr points (a loopback or
+	// ops-only interface), never through the serving port.
+	var debugSrv *http.Server
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			closeAll()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugLn = dln
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		defer debugSrv.Close()
+	}
+	// The main address announces first: scripted callers parse the first
+	// "listening on" line for the serving port.
 	fmt.Fprintf(stdout, "listening on http://%s\n", ln.Addr())
+	if debugLn != nil {
+		fmt.Fprintf(stdout, "debug listening on http://%s\n", debugLn.Addr())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

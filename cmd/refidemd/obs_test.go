@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	for _, s := range []string{"", "off", "OFF"} {
+		if _, on, err := parseLevel(s); err != nil || on {
+			t.Errorf("parseLevel(%q) = on=%v err=%v, want disabled", s, on, err)
+		}
+	}
+	for _, s := range []string{"debug", "info", "warn", "error", "INFO"} {
+		if _, on, err := parseLevel(s); err != nil || !on {
+			t.Errorf("parseLevel(%q) = on=%v err=%v, want enabled", s, on, err)
+		}
+	}
+	if _, _, err := parseLevel("verbose"); err == nil {
+		t.Error("parseLevel(verbose) should fail")
+	}
+}
+
+// bootDaemonOut is bootDaemon plus the stdout buffer, for tests that
+// parse more than the first announce line (the debug listener address).
+func bootDaemonOut(t *testing.T, extraArgs ...string) (string, *lockedBuffer, context.CancelFunc, chan error, *lockedBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stdout, stderr := &lockedBuffer{}, &lockedBuffer{}
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extraArgs...)
+	go func() {
+		done <- runUntil(ctx, args, stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	re := regexp.MustCompile(`(?m)^listening on (http://\S+)$`)
+	for {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			return m[1], stdout, cancel, done, stderr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonDebugListener boots with -debug-addr and scrapes a heap
+// profile from the sidecar, then verifies the serving mux answers 404
+// for the same path — the profiling surface must never leak onto -addr.
+func TestDaemonDebugListener(t *testing.T) {
+	url, stdout, cancel, done, stderr := bootDaemonOut(t, "-debug-addr", "127.0.0.1:0")
+	defer stopDaemon(t, cancel, done, stderr)
+
+	re := regexp.MustCompile(`debug listening on (http://\S+)`)
+	var debugURL string
+	deadline := time.Now().Add(5 * time.Second)
+	for debugURL == "" {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			debugURL = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debug listener never announced; stdout: %s", stdout.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(debugURL + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("heap profile scrape = %d (%d bytes), want 200 with content", resp.StatusCode, len(body))
+	}
+
+	resp, err = http.Get(url + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("serving mux answered /debug/pprof/heap with %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDaemonTracez checks the default-on flight recorder end to end: the
+// response trace header and the span on /debug/tracez, and that -flight 0
+// turns both off.
+func TestDaemonTracez(t *testing.T) {
+	url, cancel, done, stderr := bootDaemon(t)
+	resp, err := http.Post(url+"/v1/label", "application/json",
+		strings.NewReader(`{"example": "fig2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Refidem-Trace-Id") == "" {
+		t.Fatal("default daemon sent no X-Refidem-Trace-Id (flight recorder should default on)")
+	}
+	tz, err := http.Get(url + "/debug/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(tz.Body)
+	tz.Body.Close()
+	if !strings.Contains(string(body), "label") || !strings.Contains(string(body), "ok") {
+		t.Fatalf("tracez lacks the label span:\n%s", body)
+	}
+	stopDaemon(t, cancel, done, stderr)
+
+	url, cancel, done, stderr = bootDaemon(t, "-flight", "0")
+	resp, err = http.Post(url+"/v1/label", "application/json",
+		strings.NewReader(`{"example": "fig2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if h := resp.Header.Get("X-Refidem-Trace-Id"); h != "" {
+		t.Fatalf("-flight 0 daemon still sent trace header %q", h)
+	}
+	stopDaemon(t, cancel, done, stderr)
+}
+
+// TestDaemonRequestLogging checks -log-level: one structured line per
+// request with method, path, status and the trace ID; failures log at
+// warn.
+func TestDaemonRequestLogging(t *testing.T) {
+	url, cancel, done, stderr := bootDaemon(t, "-log-level", "info")
+	defer stopDaemon(t, cancel, done, stderr)
+
+	for _, body := range []string{`{"example": "fig2"}`, `{"example": "nope"}`} {
+		resp, err := http.Post(url+"/v1/label", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		log := stderr.String()
+		if strings.Contains(log, "status=200") && strings.Contains(log, "status=400") {
+			if !strings.Contains(log, "path=/v1/label") || !strings.Contains(log, "method=POST") {
+				t.Fatalf("request log lacks method/path attributes:\n%s", log)
+			}
+			if !strings.Contains(log, "trace_id=") {
+				t.Fatalf("request log lacks trace_id:\n%s", log)
+			}
+			if !strings.Contains(log, "level=WARN") {
+				t.Fatalf("400 should log at warn:\n%s", log)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("request log lines never appeared:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonLogLevelOff pins the default: no request lines on stderr.
+func TestDaemonLogLevelOff(t *testing.T) {
+	url, cancel, done, stderr := bootDaemon(t)
+	resp, err := http.Post(url+"/v1/label", "application/json",
+		strings.NewReader(`{"example": "fig2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if strings.Contains(stderr.String(), "msg=request") {
+		t.Fatalf("default daemon logged requests:\n%s", stderr.String())
+	}
+	stopDaemon(t, cancel, done, stderr)
+}
+
+func TestDaemonBadLogLevel(t *testing.T) {
+	if err := runUntil(context.Background(), []string{"-log-level", "loud"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("expected -log-level validation error")
+	}
+}

@@ -8,6 +8,16 @@
 //	specsim -loop "TOMCATV MAIN_DO80"       # a named loop from the paper
 //	specsim -file prog.ril                  # a mini-language source file
 //	specsim -procs 8 -capacity 64           # machine parameters
+//	specsim -timeline trace.json            # speculation timeline export
+//
+// With -timeline, the HOSE and CASE runs record their speculation
+// events (segment spawns, commits, squashes with causes, overflow
+// stalls, trace-JIT activity) and the file receives a Chrome
+// trace-event JSON document — load it in Perfetto or chrome://tracing
+// to see the machine's speculation behaviour cycle by cycle. The report
+// gains a squash-attribution table naming the references that caused
+// the flow-violation squashes. Recording does not perturb the
+// simulation: cycles and statistics are identical with and without it.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"refidem/internal/idem"
 	"refidem/internal/ir"
 	"refidem/internal/lang"
+	"refidem/internal/obs"
 	"refidem/internal/report"
 	"refidem/internal/workloads"
 )
@@ -34,6 +45,7 @@ func main() {
 	procs := flag.Int("procs", 4, "processor count")
 	capacity := flag.Int("capacity", 128, "speculative storage capacity (entries per segment)")
 	trace := flag.Bool("trace", false, "stream the engine event trace to stderr")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event JSON speculation timeline to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -83,7 +95,7 @@ func main() {
 		cfg.Trace = os.Stderr
 	}
 
-	if err := run(os.Stdout, p, cfg); err != nil {
+	if err := run(os.Stdout, p, cfg, *timeline); err != nil {
 		fmt.Fprintln(os.Stderr, "specsim:", err)
 		os.Exit(1)
 	}
@@ -115,8 +127,10 @@ func loadProgram(loop, file string) (*ir.Program, error) {
 }
 
 // run executes and reports one program on one machine configuration; the
-// CLI tests drive it directly.
-func run(w io.Writer, p *ir.Program, cfg engine.Config) error {
+// CLI tests drive it directly. A non-empty timelinePath attaches a
+// speculation timeline to each speculative run and exports both as one
+// Chrome trace-event JSON document.
+func run(w io.Writer, p *ir.Program, cfg engine.Config, timelinePath string) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -125,11 +139,21 @@ func run(w io.Writer, p *ir.Program, cfg engine.Config) error {
 	if err != nil {
 		return err
 	}
-	hose, err := engine.RunSpeculative(p, labs, cfg, engine.HOSE)
+	hoseCfg, caseCfg := cfg, cfg
+	var timelines []obs.NamedTimeline
+	if timelinePath != "" {
+		hoseCfg.Timeline = &obs.Timeline{}
+		caseCfg.Timeline = &obs.Timeline{}
+		timelines = []obs.NamedTimeline{
+			{Name: "HOSE", T: hoseCfg.Timeline},
+			{Name: "CASE", T: caseCfg.Timeline},
+		}
+	}
+	hose, err := engine.RunSpeculative(p, labs, hoseCfg, engine.HOSE)
 	if err != nil {
 		return err
 	}
-	caseR, err := engine.RunSpeculative(p, labs, cfg, engine.CASE)
+	caseR, err := engine.RunSpeculative(p, labs, caseCfg, engine.CASE)
 	if err != nil {
 		return err
 	}
@@ -156,5 +180,20 @@ func run(w io.Writer, p *ir.Program, cfg engine.Config) error {
 	}
 	fmt.Fprintln(w, t.String())
 	fmt.Fprintln(w, "both speculative runs verified against the sequential memory state")
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, timelines); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nspeculation timeline written to %s\n\n", timelinePath)
+		fmt.Fprint(w, report.RenderSquashAttribution(timelines))
+	}
 	return nil
 }

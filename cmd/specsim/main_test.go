@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -56,7 +57,7 @@ func TestNamedLoopsGolden(t *testing.T) {
 			cfg.Processors = tc.procs
 			cfg.SpecCapacity = tc.capacity
 			var buf bytes.Buffer
-			if err := run(&buf, p, cfg); err != nil {
+			if err := run(&buf, p, cfg, ""); err != nil {
 				t.Fatal(err)
 			}
 			checkGolden(t, tc.golden, buf.Bytes())
@@ -103,10 +104,125 @@ region main loop k = 0 to 15 {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, p, engine.DefaultConfig()); err != nil {
+	if err := run(&buf, p, engine.DefaultConfig(), ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("verified against the sequential memory state")) {
 		t.Errorf("unexpected output:\n%s", buf.String())
+	}
+}
+
+// TestTimelineExport drives -timeline end to end on a loop-carried
+// dependence chain (every iteration's read flow-violates against its
+// predecessor's write): the file must be a structurally valid Chrome
+// trace-event JSON document with both speculative runs as named
+// processes, the report must match the plain run byte-for-byte up to
+// the timeline addendum (recording must not perturb the simulation),
+// and the squash-attribution table is golden-gated.
+func TestTimelineExport(t *testing.T) {
+	src := `program chain
+var x[32]
+region r loop k = 1 to 31 {
+  x[k] = x[k-1] + 1
+}
+`
+	srcPath := filepath.Join(t.TempDir(), "chain.ril")
+	if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := loadProgram("", srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.DefaultConfig()
+	cfg.Processors = 4
+	cfg.SpecCapacity = 16
+
+	var plain bytes.Buffer
+	if err := run(&plain, p, cfg, ""); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run(&buf, p, cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), plain.Bytes()) {
+		t.Errorf("timeline run's report diverged from the plain run:\n--- plain ---\n%s\n--- timeline ---\n%s",
+			plain.String(), buf.String())
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("timeline file is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("timeline document is empty: %s", raw)
+	}
+	procs := map[string]bool{}
+	phases := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "" {
+			t.Fatalf("event %q lacks a phase", e.Name)
+		}
+		phases[e.Ph] = true
+		if e.Name == "process_name" {
+			procs[e.Args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"HOSE", "CASE"} {
+		if !procs[want] {
+			t.Errorf("timeline lacks a %s process track (got %v)", want, procs)
+		}
+	}
+	for _, want := range []string{"M", "X", "i"} {
+		if !phases[want] {
+			t.Errorf("timeline lacks %q-phase events", want)
+		}
+	}
+
+	i := bytes.Index(buf.Bytes(), []byte("squash attribution"))
+	if i < 0 {
+		t.Fatalf("report lacks the squash-attribution table:\n%s", buf.String())
+	}
+	checkGolden(t, "chain_squash.golden", buf.Bytes()[i:])
+
+	// Byte-determinism of the export itself.
+	path2 := filepath.Join(t.TempDir(), "trace2.json")
+	var buf2 bytes.Buffer
+	if err := run(&buf2, p, cfg, path2); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("timeline export is not byte-deterministic across identical runs")
+	}
+}
+
+// TestTimelineBadPath maps an unwritable -timeline file to an error.
+func TestTimelineBadPath(t *testing.T) {
+	p, err := loadProgram("TOMCATV MAIN_DO80", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "missing-dir", "trace.json")
+	if err := run(&buf, p, engine.DefaultConfig(), bad); err == nil {
+		t.Fatal("expected error for unwritable timeline path")
 	}
 }

@@ -20,6 +20,7 @@ package engine
 import (
 	"io"
 
+	"refidem/internal/obs"
 	"refidem/internal/specmem"
 )
 
@@ -89,6 +90,17 @@ type Config struct {
 	// violation, squash, stall, commit) — a debugging aid; it does not
 	// affect timing.
 	Trace io.Writer
+	// Timeline, when non-nil, receives the run's speculation timeline:
+	// segment spawn/commit/squash events with their causes and the refs
+	// involved, overflow stalls, and trace-JIT compile/enter/bailout
+	// events, all stamped with simulated cycles (obs.WriteChromeTrace
+	// exports the log as Perfetto-loadable Chrome trace JSON). Purely
+	// observational: cycle counts, memory and statistics are identical
+	// with a timeline attached, and the nil default costs the event loop
+	// one pointer check. RunSequential ignores it — spawn, squash and
+	// commit are speculation concepts. A Timeline must not be shared by
+	// concurrent runs.
+	Timeline *obs.Timeline
 	// Traced enables the trace-JIT execution tier: hot loop paths inside
 	// segment bodies are recorded, compiled into guarded superblocks
 	// (package vm), and executed without per-event interpreter dispatch.

@@ -6,6 +6,7 @@ import (
 
 	"refidem/internal/idem"
 	"refidem/internal/ir"
+	"refidem/internal/obs"
 	"refidem/internal/specmem"
 	"refidem/internal/vm"
 )
@@ -55,6 +56,10 @@ type instance struct {
 	proc   int
 	state  instState
 	clock  int64
+	// spawnTime is the clock at dispatch (reset on squash restart), so
+	// commit and squash timeline events can reach back to the start of
+	// the execution they end.
+	spawnTime int64
 
 	doneTime   int64
 	exitReq    bool
@@ -94,9 +99,15 @@ func RunSpeculative(p *ir.Program, labelings map[*ir.Region]*idem.Result, cfg Co
 			return nil, fmt.Errorf("engine: no labeling for region %q", region.Name)
 		}
 		sr.setRegion(region, lab)
+		if cfg.Timeline != nil {
+			cfg.Timeline.BeginRegion(region.Name, now, timelineRefs(region, lab))
+		}
 		end, err := sr.run(now)
 		if err != nil {
 			return nil, fmt.Errorf("engine: region %q: %w", region.Name, err)
+		}
+		if cfg.Timeline != nil {
+			cfg.Timeline.EndRegion(end)
 		}
 		now = end
 	}
@@ -160,6 +171,9 @@ type specRunner struct {
 	tracing    bool
 	sharedSize int64
 	frameSize  int64
+	// tl mirrors cfg.Timeline: nil (the default) keeps every emission
+	// site down to one pointer check.
+	tl *obs.Timeline
 
 	segPrivate map[int]bool
 	free       []*instance
@@ -206,6 +220,7 @@ func acquireRunner(cfg *Config, mode Mode, layout *Layout, mem []int64, hier *sp
 	sr.opCost, sr.specLat, sr.maxEvents = cfg.OpCost, cfg.SpecLatency, cfg.MaxEvents
 	sr.tracing = cfg.Trace != nil
 	sr.jit = cfg.Traced
+	sr.tl = cfg.Timeline
 	sr.sharedSize, sr.frameSize = layout.SharedSize, layout.FrameSize
 	if sr.specCap != cfg.SpecCapacity || sr.specSets != cfg.SpecSets {
 		for _, in := range sr.free {
@@ -234,6 +249,7 @@ func (sr *specRunner) release() {
 	sr.cfg, sr.r, sr.lab = nil, nil, nil
 	sr.layout, sr.mem, sr.hier, sr.stats, sr.events = nil, nil, nil, nil, nil
 	sr.codes, sr.iters = nil, nil
+	sr.tl = nil
 	sr.tr, sr.recOwner, sr.direct = nil, nil, nil
 	sr.recSeg = -1
 	for i := range sr.procInst {
@@ -600,6 +616,11 @@ func (sr *specRunner) spawnAll() {
 		if sr.segPrivate[segID] {
 			inst.clock += sr.cfg.StackSetupCost
 		}
+		inst.spawnTime = inst.clock
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{Kind: obs.EvSpawn, Time: inst.clock,
+				Proc: int32(proc), Age: int32(age), Seg: int32(segID), Ref: -1})
+		}
 		sr.window = append(sr.window, inst)
 		sr.nextAge++
 		sr.procInst[proc] = inst
@@ -807,7 +828,7 @@ func (sr *specRunner) doStore(inst *instance, ev *vm.Event) {
 	// Both speculative and idempotent writes first check for prematurely
 	// executed speculative loads in younger segments (Definition 4 /
 	// HOSE Property 5).
-	sr.checkViolation(inst, addr)
+	sr.checkViolation(inst, addr, int32(ev.Ref.ID))
 	if sr.isIdem(md) {
 		// The value goes directly to non-speculative storage; nothing is
 		// kept in speculative storage.
@@ -843,14 +864,21 @@ func (sr *specRunner) stall(inst *instance, ev *vm.Event) {
 	inst.hasPending = true
 	inst.state = stStalled
 	inst.stallStart = inst.clock
+	if sr.tl != nil {
+		sr.tl.Add(obs.Event{Kind: obs.EvStall, Time: inst.clock,
+			Proc: int32(inst.proc), Age: int32(inst.age), Seg: int32(inst.seg.ID),
+			Ref: -1, Aux: int64(inst.buf.Size()), Cause: obs.CauseOverflow})
+	}
 	sr.heapRemove(inst)
 }
 
 // checkViolation detects flow-dependence violations: a younger segment
 // consumed this location from a source no younger than the writer. The
 // speculation engine rolls back the violating segment and everything
-// younger.
-func (sr *specRunner) checkViolation(writer *instance, addr int64) {
+// younger. refID is the writer's dense reference ID, carried into the
+// squash timeline events so attribution can rank the refs whose writes
+// trigger squash storms.
+func (sr *specRunner) checkViolation(writer *instance, addr int64, refID int32) {
 	for wi := writer.age + 1 - sr.baseAge; wi < len(sr.window); wi++ {
 		v := sr.window[wi]
 		if v.buf.PrematureRead(addr, writer.age) != nil {
@@ -859,7 +887,7 @@ func (sr *specRunner) checkViolation(writer *instance, addr int64) {
 				sr.trace("t=%d age %d write to addr %d violates premature read by age %d",
 					writer.clock, writer.age, addr, v.age)
 			}
-			sr.squashFrom(v.age, writer.clock)
+			sr.squashFrom(v.age, writer.clock, refID)
 			return
 		}
 	}
@@ -873,8 +901,9 @@ func (sr *specRunner) trace(format string, args ...any) {
 }
 
 // squashFrom rolls back instances age..youngest: buffers cleared, machines
-// reset, restart after the rollback penalty (HOSE Property 2).
-func (sr *specRunner) squashFrom(age int, t int64) {
+// reset, restart after the rollback penalty (HOSE Property 2). refID is
+// the violating writer's reference, attributed to every squash event.
+func (sr *specRunner) squashFrom(age int, t int64, refID int32) {
 	if sr.tracing {
 		sr.trace("t=%d squash ages %d..%d (flow violation)", t, age, sr.nextAge-1)
 	}
@@ -882,6 +911,12 @@ func (sr *specRunner) squashFrom(age int, t int64) {
 		inst := sr.window[wi]
 		if inst.state == stStalled {
 			sr.stats.OverflowStallCycles += t - inst.stallStart
+		}
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{Kind: obs.EvSquash, Time: t,
+				Dur:  sinceSpawn(t, inst.spawnTime),
+				Proc: int32(inst.proc), Age: int32(inst.age), Seg: int32(inst.seg.ID),
+				Ref: refID, Cause: obs.CauseFlowViolation})
 		}
 		wasRunning := inst.state == stRunning
 		inst.m.Reset()
@@ -891,6 +926,7 @@ func (sr *specRunner) squashFrom(age int, t int64) {
 		inst.actualNext = unknownNext
 		inst.state = stRunning
 		inst.clock = t + sr.cfg.RollbackPenalty
+		inst.spawnTime = inst.clock
 		inst.doneTime = 0
 		inst.tally = refTally{}
 		sr.stats.SquashedSegments++
@@ -972,6 +1008,12 @@ func (sr *specRunner) truncateAfter(inst *instance) {
 		if v.state == stRunning {
 			sr.heapRemove(v)
 		}
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{Kind: obs.EvSquash, Time: t,
+				Dur:  sinceSpawn(t, v.spawnTime),
+				Proc: int32(v.proc), Age: int32(v.age), Seg: int32(v.seg.ID),
+				Ref: -1, Cause: obs.CauseControlViolation})
+		}
 		sr.procFree[v.proc] = t + sr.cfg.RollbackPenalty
 		sr.procInst[v.proc] = nil
 		sr.stats.SquashedSegments++
@@ -1019,6 +1061,12 @@ func (sr *specRunner) retireChain() {
 		sr.commit = entries[:0]
 		if sr.tracing {
 			sr.trace("t=%d age %d retires (%d entries committed)", t, inst.age, len(entries))
+		}
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{Kind: obs.EvCommit, Time: t,
+				Dur:  sinceSpawn(t, inst.spawnTime),
+				Proc: int32(inst.proc), Age: int32(inst.age), Seg: int32(inst.seg.ID),
+				Ref: -1, Aux: int64(len(entries))})
 		}
 		sr.commitFree = t
 		inst.state = stRetired
@@ -1071,6 +1119,12 @@ func (sr *specRunner) truncateAfterRetired(t int64) {
 		}
 		if v.state == stRunning {
 			sr.heapRemove(v)
+		}
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{Kind: obs.EvSquash, Time: t,
+				Dur:  sinceSpawn(t, v.spawnTime),
+				Proc: int32(v.proc), Age: int32(v.age), Seg: int32(v.seg.ID),
+				Ref: -1, Cause: obs.CauseEarlyExitRevoke})
 		}
 		sr.procFree[v.proc] = t
 		sr.procInst[v.proc] = nil

@@ -35,6 +35,7 @@ package engine
 
 import (
 	"refidem/internal/ir"
+	"refidem/internal/obs"
 	"refidem/internal/vm"
 )
 
@@ -163,6 +164,7 @@ func (sr *specRunner) advanceTraced(inst *instance) {
 // recorder.
 func (sr *specRunner) finishRecording() {
 	segID := sr.recSeg
+	owner := sr.recOwner
 	sb := sr.rec.Build(sr.direct)
 	sr.recSeg = -1
 	sr.recOwner = nil
@@ -173,6 +175,20 @@ func (sr *specRunner) finishRecording() {
 	if sb != nil {
 		sr.segSB[segID] = sb
 		sr.stats.TracesCompiled++
+		if sr.tl != nil && owner != nil {
+			elided := int64(0)
+			for i := range sb.Instrs {
+				in := &sb.Instrs[i]
+				if (in.Op == vm.TLoad || in.Op == vm.TStore) && in.Direct {
+					elided++
+				}
+			}
+			sr.tl.Add(obs.Event{
+				Kind: obs.EvTraceCompile, Time: owner.clock,
+				Proc: int32(owner.proc), Age: int32(owner.age),
+				Seg: int32(segID), Ref: -1, Aux: elided,
+			})
+		}
 	}
 	sr.tr.store(segID, sb)
 }
@@ -185,6 +201,13 @@ func (sr *specRunner) finishRecording() {
 // carries the op count of the original instructions it stands for, and
 // memory latencies are charged exactly as doLoad/doStore charge them.
 func (sr *specRunner) runTrace(inst *instance, sb *vm.Superblock) {
+	if sr.tl != nil {
+		sr.tl.Add(obs.Event{
+			Kind: obs.EvTraceEnter, Time: inst.clock,
+			Proc: int32(inst.proc), Age: int32(inst.age),
+			Seg: int32(inst.seg.ID), Ref: -1,
+		})
+	}
 	regs := inst.m.Regs
 	var ops int64
 	flush := func() {
@@ -195,6 +218,13 @@ func (sr *specRunner) runTrace(inst *instance, sb *vm.Superblock) {
 		flush()
 		inst.m.PC = int(pc)
 		sr.stats.TraceBailouts++
+		if sr.tl != nil {
+			sr.tl.Add(obs.Event{
+				Kind: obs.EvTraceBailout, Time: inst.clock,
+				Proc: int32(inst.proc), Age: int32(inst.age),
+				Seg: int32(inst.seg.ID), Ref: -1, Aux: int64(pc),
+			})
+		}
 	}
 	for i := range sb.Instrs {
 		in := &sb.Instrs[i]
@@ -296,7 +326,7 @@ func (sr *specRunner) runTrace(inst *instance, sb *vm.Superblock) {
 				subs[k] = regs[r]
 			}
 			addr := sr.addrOf(inst, md, subs)
-			sr.checkViolation(inst, addr)
+			sr.checkViolation(inst, addr, in.RefID)
 			if in.Direct {
 				sr.mem[addr] = regs[in.A]
 				inst.clock += sr.hier.Access(inst.proc, addr)

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"refidem/internal/obs"
+)
+
+// squashKey identifies one attribution row: the reference whose write
+// caused flow-violation squashes, or a pseudo-reference for squash
+// causes no single reference explains.
+type squashKey struct {
+	text     string
+	label    string
+	category string
+}
+
+// RenderSquashAttribution aggregates the squash events of the given
+// timelines into a table answering "which reference is costing us
+// speculation?": one row per violating reference (flow violations carry
+// the writer's rendered text and its idempotency labeling), plus
+// pseudo-rows for control-violation and early-exit-revoke squashes,
+// which no single reference causes. One count column per timeline, a
+// total column, rows sorted by descending total then reference text.
+func RenderSquashAttribution(timelines []obs.NamedTimeline) string {
+	counts := map[squashKey][]int64{}
+	var keys []squashKey
+	bump := func(k squashKey, ti int) {
+		row, ok := counts[k]
+		if !ok {
+			row = make([]int64, len(timelines))
+			counts[k] = row
+			keys = append(keys, k)
+		}
+		row[ti]++
+	}
+	for ti, nt := range timelines {
+		if nt.T == nil {
+			continue
+		}
+		for ei := range nt.T.Events {
+			e := &nt.T.Events[ei]
+			if e.Kind != obs.EvSquash {
+				continue
+			}
+			if info, ok := nt.T.RefInfo(e); ok && e.Cause == obs.CauseFlowViolation {
+				bump(squashKey{info.Text, info.Label, info.Category}, ti)
+			} else {
+				bump(squashKey{"(" + e.Cause.String() + ")", "-", "-"}, ti)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return "no squashes recorded\n"
+	}
+	total := func(k squashKey) int64 {
+		var n int64
+		for _, c := range counts[k] {
+			n += c
+		}
+		return n
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ti, tj := total(keys[i]), total(keys[j])
+		if ti != tj {
+			return ti > tj
+		}
+		return keys[i].text < keys[j].text
+	})
+
+	headers := []string{"ref", "label", "category"}
+	for _, nt := range timelines {
+		headers = append(headers, nt.Name)
+	}
+	headers = append(headers, "total")
+	t := NewTable("squash attribution (squashed segments per violating reference)", headers...)
+	for _, k := range keys {
+		cells := []string{k.text, k.label, k.category}
+		for _, c := range counts[k] {
+			cells = append(cells, fmt.Sprint(c))
+		}
+		cells = append(cells, fmt.Sprint(total(k)))
+		t.AddRow(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"refidem/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test ./internal/report -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// squashTestTimelines builds a hand-crafted pair of timelines covering
+// every attribution path: flow violations resolving to two distinct
+// references, a flow violation with no resolvable reference, and the
+// two causes that never name a reference.
+func squashTestTimelines() []obs.NamedTimeline {
+	refs := []obs.RefInfo{
+		{Text: "write x[k-1]", Label: "idempotent", Category: "read-only"},
+		{Text: "write y[k]", Label: "non-idempotent", Category: "shared-dependent"},
+	}
+	hose := &obs.Timeline{}
+	hose.BeginRegion("r", 0, refs)
+	for i := 0; i < 3; i++ {
+		hose.Add(obs.Event{Kind: obs.EvSquash, Time: int64(10 + i), Ref: 1, Cause: obs.CauseFlowViolation})
+	}
+	hose.Add(obs.Event{Kind: obs.EvSquash, Time: 20, Ref: 0, Cause: obs.CauseFlowViolation})
+	hose.Add(obs.Event{Kind: obs.EvSquash, Time: 21, Ref: -1, Cause: obs.CauseControlViolation})
+	hose.Add(obs.Event{Kind: obs.EvCommit, Time: 22, Ref: -1}) // commits never count
+	hose.EndRegion(30)
+
+	caseT := &obs.Timeline{}
+	caseT.BeginRegion("r", 0, refs)
+	caseT.Add(obs.Event{Kind: obs.EvSquash, Time: 5, Ref: 1, Cause: obs.CauseFlowViolation})
+	caseT.Add(obs.Event{Kind: obs.EvSquash, Time: 6, Ref: -1, Cause: obs.CauseEarlyExitRevoke})
+	caseT.Add(obs.Event{Kind: obs.EvSquash, Time: 7, Ref: -1, Cause: obs.CauseFlowViolation})
+	caseT.EndRegion(12)
+
+	return []obs.NamedTimeline{{Name: "HOSE", T: hose}, {Name: "CASE", T: caseT}}
+}
+
+// TestSquashAttributionGolden pins the rendered table byte-for-byte:
+// column set, per-timeline counts, totals-descending row order.
+func TestSquashAttributionGolden(t *testing.T) {
+	got := RenderSquashAttribution(squashTestTimelines())
+	checkGolden(t, "squash_attribution.golden", []byte(got))
+}
+
+// TestSquashAttributionEmpty covers the no-squash and nil-timeline
+// degenerate shapes.
+func TestSquashAttributionEmpty(t *testing.T) {
+	for _, tls := range [][]obs.NamedTimeline{
+		nil,
+		{{Name: "HOSE", T: nil}},
+		{{Name: "HOSE", T: &obs.Timeline{}}},
+	} {
+		if got := RenderSquashAttribution(tls); got != "no squashes recorded\n" {
+			t.Errorf("RenderSquashAttribution(%v) = %q", tls, got)
+		}
+	}
+}
+
+// TestSquashAttributionDeterministic renders twice and compares: the
+// aggregation uses maps internally, so the sort must fully order rows.
+func TestSquashAttributionDeterministic(t *testing.T) {
+	a := RenderSquashAttribution(squashTestTimelines())
+	b := RenderSquashAttribution(squashTestTimelines())
+	if a != b {
+		t.Fatalf("renders differ:\n%s\nvs\n%s", a, b)
+	}
+}

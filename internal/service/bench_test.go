@@ -95,6 +95,33 @@ func BenchmarkServiceLabelSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceLabelTracedOff is BenchmarkServiceLabelSerial with the
+// default (disabled) flight recorder made explicit: its alloc gate proves
+// the recorder's off-path adds zero allocations to the response-cache hot
+// path — DoTraced with a nil recorder must cost one pointer check.
+func BenchmarkServiceLabelTracedOff(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.FlightSpans = 0
+	s := New(cfg)
+	defer s.Close()
+	src := benchSources(1)[0]
+	ctx := context.Background()
+	if _, err := s.Label(ctx, Request{Program: src}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.DoTraced(ctx, Request{Op: OpLabel, Program: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if snap := s.Metrics().SnapshotNow(); snap.Computed != 1 {
+		b.Fatalf("computed = %d, want 1 (steady state must be pure response hits)", snap.Computed)
+	}
+}
+
 // BenchmarkServiceSimulateThroughput measures simulate request throughput
 // (label + three engine runs + live-out verification per distinct
 // program; coalescing collapses concurrent duplicates).

@@ -1,11 +1,13 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // maxRequestBody bounds a request document; maxBatchItems bounds how many
@@ -33,24 +35,32 @@ type errorDoc struct {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/label     — label a program (Request document)
-//	POST /v1/simulate  — label + simulate under seq/HOSE/CASE
-//	POST /v1/batch     — up to 256 requests, answered in order
-//	GET  /healthz      — liveness + store health (JSON Health document)
-//	GET  /metricz      — counters, cache/store stats, latency histogram
+//	POST /v1/label             — label a program (Request document)
+//	POST /v1/simulate          — label + simulate under seq/HOSE/CASE
+//	POST /v1/simulate?timeline=1 — speculation timeline as Chrome trace JSON
+//	POST /v1/batch             — up to 256 requests, answered in order
+//	GET  /healthz              — liveness + store health (JSON Health document)
+//	GET  /metricz              — counters, cache/store stats, latency histogram
+//	GET  /debug/tracez         — flight-recorder spans (text; ?format=json)
 //
 // Responses for identical programs are byte-identical. Overload maps to
 // 503 with Retry-After; malformed requests to 400; requests exceeding
-// the configured per-request deadline to 504.
+// the configured per-request deadline to 504. When the flight recorder
+// is on, /v1/label and /v1/simulate answers carry X-Refidem-Trace-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/label", func(w http.ResponseWriter, r *http.Request) {
 		s.handleOp(w, r, OpLabel)
 	})
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("timeline") == "1" {
+			s.handleTimeline(w, r)
+			return
+		}
 		s.handleOp(w, r, OpSimulate)
 	})
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /debug/tracez", s.handleTracez)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Always 200 while the listener is up: a degraded store means
 		// memory-only serving, not an unhealthy server. Routers and the
@@ -76,13 +86,37 @@ func (s *Server) handleOp(w http.ResponseWriter, r *http.Request, op string) {
 		return
 	}
 	req.Op = op
-	resp, err := s.Do(r.Context(), req)
+	resp, traceID, err := s.DoTraced(r.Context(), req)
+	if traceID != 0 {
+		// Headers only — the trace ID identifies the request's span on
+		// /debug/tracez without touching the response bytes.
+		w.Header().Set("X-Refidem-Trace-Id", strconv.FormatUint(traceID, 10))
+	}
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(resp)
+}
+
+// handleTimeline serves POST /v1/simulate?timeline=1: the request's
+// speculation timeline as a Chrome trace-event JSON document. The export
+// is buffered so an engine failure mid-run answers with a clean error
+// document instead of truncated JSON.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req.Op = OpSimulate
+	var buf bytes.Buffer
+	if err := s.SimulateTimeline(r.Context(), req, &buf); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

@@ -19,10 +19,13 @@ const latencyBuckets = 27
 // /metricz text document.
 type Metrics struct {
 	// Per-endpoint request counters (batch items count under their op;
-	// batchCalls counts /v1/batch invocations themselves).
+	// batchCalls counts /v1/batch invocations themselves;
+	// timelineRequests counts /v1/simulate?timeline=1 exports, which
+	// bypass the queue and caches and so appear under no other counter).
 	labelRequests    atomic.Int64
 	simulateRequests atomic.Int64
 	batchCalls       atomic.Int64
+	timelineRequests atomic.Int64
 
 	// Outcome counters.
 	badRequests atomic.Int64
@@ -106,14 +109,17 @@ func (m *Metrics) observeLatency(d time.Duration) {
 // load harness.
 type Snapshot struct {
 	LabelRequests, SimulateRequests, BatchCalls int64
+	TimelineRequests                            int64
 	BadRequests, Overloaded, Coalesced          int64
 	Computed, RespHits, Batches, BatchTasks     int64
 	LatencyCount, LatencySumNs                  int64
 	Timeouts                                    int64
-	StoreWarmHits, StoreHits                    int64
+	StoreWarmHits, StoreHits, StoreWarmEntries  int64
 	StoreWrites, StoreWriteErrors               int64
 	StoreDroppedWrites, StoreCorrupt            int64
+	StoreReadErrors                             int64
 	StoreDegradedEvents, StoreRecoveries        int64
+	StoreProbeFailures                          int64
 	TraceCompiled, TraceBailouts, GuardElided   int64
 }
 
@@ -123,6 +129,7 @@ func (m *Metrics) SnapshotNow() Snapshot {
 		LabelRequests:       m.labelRequests.Load(),
 		SimulateRequests:    m.simulateRequests.Load(),
 		BatchCalls:          m.batchCalls.Load(),
+		TimelineRequests:    m.timelineRequests.Load(),
 		BadRequests:         m.badRequests.Load(),
 		Overloaded:          m.overloaded.Load(),
 		Coalesced:           m.coalesced.Load(),
@@ -134,12 +141,15 @@ func (m *Metrics) SnapshotNow() Snapshot {
 		Timeouts:            m.timeouts.Load(),
 		StoreWarmHits:       m.storeWarmHits.Load(),
 		StoreHits:           m.storeHits.Load(),
+		StoreWarmEntries:    m.storeWarmEntries.Load(),
 		StoreWrites:         m.storeWrites.Load(),
 		StoreWriteErrors:    m.storeWriteErrors.Load(),
 		StoreDroppedWrites:  m.storeDroppedWrites.Load(),
 		StoreCorrupt:        m.storeCorrupt.Load(),
+		StoreReadErrors:     m.storeReadErrors.Load(),
 		StoreDegradedEvents: m.storeDegradedEvents.Load(),
 		StoreRecoveries:     m.storeRecoveries.Load(),
+		StoreProbeFailures:  m.storeProbeFailures.Load(),
 		TraceCompiled:       m.traceCompiled.Load(),
 		TraceBailouts:       m.traceBailouts.Load(),
 		GuardElided:         m.guardElided.Load(),
@@ -161,6 +171,7 @@ func (s *Server) RenderMetricz() string {
 	w("requests_label", m.labelRequests.Load())
 	w("requests_simulate", m.simulateRequests.Load())
 	w("requests_batch_calls", m.batchCalls.Load())
+	w("requests_timeline", m.timelineRequests.Load())
 	w("requests_bad", m.badRequests.Load())
 	w("requests_timeout", m.timeouts.Load())
 	w("rejected_overloaded", m.overloaded.Load())
@@ -223,9 +234,11 @@ func (s *Server) RenderMetricz() string {
 	w("cache_pinned", int64(cs.Pinned))
 	w("cache_capacity", int64(cs.Capacity))
 
+	var buckets [latencyBuckets + 1]int64
 	var count, cum int64
 	for i := range m.latency {
-		count += m.latency[i].Load()
+		buckets[i] = m.latency[i].Load()
+		count += buckets[i]
 	}
 	w("latency_count", count)
 	if count > 0 {
@@ -233,9 +246,12 @@ func (s *Server) RenderMetricz() string {
 	} else {
 		w("latency_mean_ns", 0)
 	}
+	w("latency_p50_us", latencyQuantile(&buckets, count, 50))
+	w("latency_p95_us", latencyQuantile(&buckets, count, 95))
+	w("latency_p99_us", latencyQuantile(&buckets, count, 99))
 	started := false
 	for i := 0; i <= latencyBuckets; i++ {
-		n := m.latency[i].Load()
+		n := buckets[i]
 		cum += n
 		if !started && n == 0 && cum == 0 {
 			continue
@@ -251,4 +267,24 @@ func (s *Server) RenderMetricz() string {
 		}
 	}
 	return b.String()
+}
+
+// latencyQuantile reports the q-th percentile latency (in µs) from a
+// histogram snapshot: the upper bound of the first bucket holding the
+// rank-⌈count·q/100⌉ observation. A value in the overflow bucket reports
+// that bucket's lower bound (2^latencyBuckets µs); an empty histogram
+// reports 0. Bucket granularity (power-of-two) bounds the error.
+func latencyQuantile(buckets *[latencyBuckets + 1]int64, count, q int64) int64 {
+	if count == 0 {
+		return 0
+	}
+	rank := (count*q + 99) / 100
+	var cum int64
+	for i := 0; i < latencyBuckets; i++ {
+		cum += buckets[i]
+		if cum >= rank {
+			return int64(1) << i
+		}
+	}
+	return int64(1) << latencyBuckets
 }

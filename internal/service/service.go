@@ -39,6 +39,7 @@ import (
 	"refidem/internal/engine"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
+	"refidem/internal/obs"
 	"refidem/internal/parallel"
 	"refidem/internal/store"
 )
@@ -109,6 +110,15 @@ type Config struct {
 	// request that exceeds it fails with ErrTimeout (HTTP 504). Zero
 	// disables the deadline.
 	RequestTimeout time.Duration
+	// FlightSpans enables the request flight recorder with a ring of that
+	// many spans (see internal/obs): every request records its per-stage
+	// timings and outcome, served on /debug/tracez and identified to HTTP
+	// clients by the X-Refidem-Trace-Id header. 0 (the default) disables
+	// recording entirely — the request path then carries a single nil
+	// check and no clock reads beyond the latency histogram's. Span
+	// timings never reach response bytes, so responses are byte-identical
+	// either way.
+	FlightSpans int
 	// Ensemble labels programs through the collaborative dependence
 	// ensemble (idem.LabelProgramEnsemble) with the sound members (range
 	// pre-filter, must-write-first) enabled. Responses stay byte-identical
@@ -171,6 +181,7 @@ type Server struct {
 	shards  []*idem.ProgramCache
 	resp    *respCache // nil when disabled
 	metrics *Metrics
+	flight  *obs.FlightRecorder // nil when disabled
 
 	mu       sync.Mutex
 	closed   bool
@@ -203,14 +214,24 @@ type taskKey struct {
 	capacity int
 }
 
-// task is one admitted computation plus its waiters. resp and err are
-// written by the worker before done is closed and read-only afterwards.
+// task is one admitted computation plus its waiters. resp, err and the
+// span fields are written by the worker before done is closed and
+// read-only afterwards.
 type task struct {
 	key  taskKey
 	prog *ir.Program
 	done chan struct{}
 	resp []byte
 	err  error
+
+	// Flight-recorder stage timings of the worker-side phases (zero when
+	// the recorder is off) and the response source ("store" or
+	// "compute"). Coalesced waiters all report the one computation they
+	// waited on.
+	spanStoreRead  int64
+	spanCompute    int64
+	spanStoreWrite int64
+	src            string
 }
 
 // New starts a Server: the admission queue is allocated and the
@@ -235,6 +256,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ResponseCache > 0 {
 		s.resp = newRespCache(cfg.Shards, cfg.ResponseCache)
+	}
+	if cfg.FlightSpans > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightSpans)
 	}
 	s.initStore()
 	go s.dispatch()
@@ -303,7 +327,54 @@ func (s *Server) Batch(ctx context.Context, reqs []Request) ([][]byte, []error) 
 // returns the response bytes. Identical in-flight requests coalesce onto
 // one computation when the server was configured with Coalesce.
 func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
+	resp, _, err := s.DoTraced(ctx, req)
+	return resp, err
+}
+
+// outcomeOf classifies a request error for the flight recorder.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "error"
+}
+
+// finishSpan commits a request span to the flight recorder and returns
+// its trace ID (0 when recording is off). The span is the caller's stack
+// value; nothing here retains a pointer to it.
+func (s *Server) finishSpan(fl *obs.FlightRecorder, sp *obs.Span, err error) uint64 {
+	if fl == nil {
+		return 0
+	}
+	sp.End(outcomeOf(err))
+	fl.Record(*sp)
+	return sp.TraceID
+}
+
+// DoTraced is Do plus the request's flight-recorder trace ID (0 when the
+// recorder is disabled; see Config.FlightSpans). The HTTP layer echoes
+// the ID as X-Refidem-Trace-Id so a response can be matched to its span
+// on /debug/tracez. Responses are byte-identical with recording on or
+// off — spans carry timings about the bytes, never into them.
+func (s *Server) DoTraced(ctx context.Context, req Request) ([]byte, uint64, error) {
 	start := time.Now()
+	fl := s.flight
+	var sp obs.Span
+	if fl != nil {
+		sp = obs.Begin(req.Op)
+		sp.TraceID = fl.NextID()
+	}
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -316,10 +387,11 @@ func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 		s.metrics.simulateRequests.Add(1)
 	default:
 		s.metrics.badRequests.Add(1)
-		return nil, fmt.Errorf("%w: unknown op %q (want %q or %q)", ErrBadRequest, req.Op, OpLabel, OpSimulate)
+		err := fmt.Errorf("%w: unknown op %q (want %q or %q)", ErrBadRequest, req.Op, OpLabel, OpSimulate)
+		return nil, s.finishSpan(fl, &sp, err), err
 	}
 	if s.closing.Load() {
-		return nil, ErrClosed
+		return nil, s.finishSpan(fl, &sp, ErrClosed), ErrClosed
 	}
 	// Structural validation runs before the response-cache lookup: the
 	// cache keys on one program selector, so a malformed request (both
@@ -328,16 +400,25 @@ func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 	// cache warmth.
 	if req.Program != "" && req.Example != "" {
 		s.metrics.badRequests.Add(1)
-		return nil, fmt.Errorf("%w: use either program or example, not both", ErrBadRequest)
+		err := fmt.Errorf("%w: use either program or example, not both", ErrBadRequest)
+		return nil, s.finishSpan(fl, &sp, err), err
 	}
 	if req.Procs < 0 || req.Capacity < 0 {
 		s.metrics.badRequests.Add(1)
-		return nil, fmt.Errorf("%w: procs and capacity must be non-negative", ErrBadRequest)
+		err := fmt.Errorf("%w: procs and capacity must be non-negative", ErrBadRequest)
+		return nil, s.finishSpan(fl, &sp, err), err
+	}
+	if fl != nil {
+		sp.Lap(obs.StageAdmission) // validation is part of admission
 	}
 	var rk respKey
 	if s.resp != nil {
 		rk = respKeyOf(req)
-		if resp, ok := s.resp.get(rk); ok {
+		resp, ok := s.resp.get(rk)
+		if fl != nil {
+			sp.Lap(obs.StageRespCache)
+		}
+		if ok {
 			// Fast path: the identical request was answered before; its
 			// bytes are exact by the determinism guarantee, no parse or
 			// queue trip needed. Only successful responses are cached, so
@@ -345,18 +426,31 @@ func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 			// to full resolution below.
 			s.metrics.respHits.Add(1)
 			s.metrics.observeLatency(time.Since(start))
-			return resp, nil
+			if fl != nil {
+				sp.Source = "resp_cache"
+			}
+			return resp, s.finishSpan(fl, &sp, nil), nil
 		}
 	}
 	prog, err := req.resolveProgram()
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return nil, s.finishSpan(fl, &sp, err), err
+	}
+	if fl != nil {
+		sp.Lap(obs.StageSingleflight) // program resolution (parse/example)
 	}
 
-	t, err := s.admit(req, prog)
+	t, coalesced, err := s.admit(req, prog)
 	if err != nil {
-		return nil, err
+		return nil, s.finishSpan(fl, &sp, err), err
+	}
+	if fl != nil {
+		sp.Lap(obs.StageAdmission)
+		sp.Coalesced = coalesced
+		sp.Fingerprint = t.key.fp
+		sp.HasFingerprint = true
 	}
 	select {
 	case <-t.done:
@@ -364,37 +458,48 @@ func (s *Server) Do(ctx context.Context, req Request) ([]byte, error) {
 		// The computation still completes for any coalesced waiters; this
 		// caller alone abandons it. A deadline that came from the server's
 		// own RequestTimeout maps to the typed ErrTimeout (HTTP 504) so a
-		// stuck compute cannot hold an HTTP worker forever.
+		// stuck compute cannot hold an HTTP worker forever. The abandoned
+		// task's span fields are still being written — only the immutable
+		// key is safe to touch here.
 		if s.cfg.RequestTimeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			s.metrics.timeouts.Add(1)
-			return nil, fmt.Errorf("%w after %v", ErrTimeout, s.cfg.RequestTimeout)
+			err := fmt.Errorf("%w after %v", ErrTimeout, s.cfg.RequestTimeout)
+			return nil, s.finishSpan(fl, &sp, err), err
 		}
-		return nil, ctx.Err()
+		return nil, s.finishSpan(fl, &sp, ctx.Err()), ctx.Err()
 	}
 	s.metrics.observeLatency(time.Since(start))
+	if fl != nil {
+		sp.Lap(obs.StageSingleflight) // the wait on the shared computation
+		sp.Stages[obs.StageStoreRead] += t.spanStoreRead
+		sp.Stages[obs.StageCompute] += t.spanCompute
+		sp.Stages[obs.StageStoreWrite] += t.spanStoreWrite
+		sp.Source = t.src
+	}
 	if t.err != nil {
-		return nil, t.err
+		return nil, s.finishSpan(fl, &sp, t.err), t.err
 	}
 	if s.resp != nil {
 		s.resp.put(rk, t.resp)
 	}
-	return t.resp, nil
+	return t.resp, s.finishSpan(fl, &sp, nil), nil
 }
 
-// admit coalesces the request onto an in-flight task or enqueues a new
-// one, applying backpressure when the queue is full.
-func (s *Server) admit(req Request, prog *ir.Program) (*task, error) {
+// admit coalesces the request onto an in-flight task (reported by the
+// second return) or enqueues a new one, applying backpressure when the
+// queue is full.
+func (s *Server) admit(req Request, prog *ir.Program) (*task, bool, error) {
 	key := taskKey{op: req.Op, fp: ir.FingerprintOf(prog), deps: req.Deps,
 		procs: req.Procs, capacity: req.Capacity}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if s.cfg.Coalesce {
 		if t, ok := s.inflight[key]; ok {
 			s.metrics.coalesced.Add(1)
-			return t, nil
+			return t, true, nil
 		}
 	}
 	t := &task{key: key, prog: prog, done: make(chan struct{})}
@@ -402,12 +507,12 @@ func (s *Server) admit(req Request, prog *ir.Program) (*task, error) {
 	case s.queue <- t:
 	default:
 		s.metrics.overloaded.Add(1)
-		return nil, ErrOverloaded
+		return nil, false, ErrOverloaded
 	}
 	if s.cfg.Coalesce {
 		s.inflight[key] = t
 	}
-	return t, nil
+	return t, false, nil
 }
 
 // dispatch drains the admission queue in bounded batches, handing each
@@ -480,13 +585,27 @@ func (s *Server) run(t *task) {
 		s.mu.Unlock()
 		close(t.done)
 	}()
+	flight := s.flight != nil
+	var lap time.Time
+	if flight {
+		lap = time.Now()
+	}
 	// The persistent tier answers before any compute: a warm-start or
 	// store hit is byte-identical to the cold compute by the determinism
 	// guarantee, so serving it is exact — the paper's thesis (idempotent
 	// work may be skipped) applied to the analysis itself.
 	if resp := s.storeLookup(t.key); resp != nil {
 		t.resp = resp
+		if flight {
+			t.spanStoreRead = time.Since(lap).Nanoseconds()
+			t.src = "store"
+		}
 		return
+	}
+	if flight {
+		now := time.Now()
+		t.spanStoreRead = now.Sub(lap).Nanoseconds()
+		lap = now
 	}
 	s.metrics.computed.Add(1)
 	shard := s.shardFor(t.key.fp)
@@ -519,8 +638,17 @@ func (s *Server) run(t *task) {
 	default:
 		t.err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, t.key.op)
 	}
+	if flight {
+		now := time.Now()
+		t.spanCompute = now.Sub(lap).Nanoseconds()
+		lap = now
+		t.src = "compute"
+	}
 	if t.err == nil && t.resp != nil {
 		s.persistAsync(t.key, t.resp)
+	}
+	if flight {
+		t.spanStoreWrite = time.Since(lap).Nanoseconds()
 	}
 }
 
@@ -541,3 +669,7 @@ func (s *Server) CacheStats() idem.CacheStats {
 
 // Metrics exposes the server's counters (see Metrics for the fields).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// FlightRecorder exposes the request flight recorder (nil when
+// Config.FlightSpans left recording disabled).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }

@@ -1,0 +1,120 @@
+package service
+
+// /debug/tracez: the flight recorder's HTTP surface. Renders the ring's
+// spans newest-first as a plain-text table (the default) or JSON
+// (?format=json). Reads only the recorder — no clocks, no request state —
+// so scraping it perturbs nothing but the slot mutexes it snapshots.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"refidem/internal/obs"
+)
+
+// tracezSpan is one span in the JSON rendering. Stage durations are
+// explicit fields (not a map) so the document is byte-deterministic
+// given the spans.
+type tracezSpan struct {
+	TraceID        uint64 `json:"trace_id"`
+	Op             string `json:"op"`
+	Outcome        string `json:"outcome"`
+	Source         string `json:"source,omitempty"`
+	Coalesced      bool   `json:"coalesced,omitempty"`
+	Fingerprint    string `json:"fingerprint,omitempty"`
+	StartUnixNs    int64  `json:"start_unix_ns"`
+	TotalNs        int64  `json:"total_ns"`
+	AdmissionNs    int64  `json:"admission_ns"`
+	RespCacheNs    int64  `json:"resp_cache_ns"`
+	SingleflightNs int64  `json:"singleflight_ns"`
+	StoreReadNs    int64  `json:"store_read_ns"`
+	ComputeNs      int64  `json:"compute_ns"`
+	StoreWriteNs   int64  `json:"store_write_ns"`
+}
+
+// tracezDoc is the JSON document of /debug/tracez?format=json.
+type tracezDoc struct {
+	Enabled  bool         `json:"enabled"`
+	Capacity int          `json:"capacity,omitempty"`
+	Spans    []tracezSpan `json:"spans,omitempty"`
+}
+
+func tracezSpanOf(sp *obs.Span) tracezSpan {
+	out := tracezSpan{
+		TraceID:        sp.TraceID,
+		Op:             sp.Op,
+		Outcome:        sp.Outcome,
+		Source:         sp.Source,
+		Coalesced:      sp.Coalesced,
+		StartUnixNs:    sp.Start,
+		TotalNs:        sp.Total,
+		AdmissionNs:    sp.Stages[obs.StageAdmission],
+		RespCacheNs:    sp.Stages[obs.StageRespCache],
+		SingleflightNs: sp.Stages[obs.StageSingleflight],
+		StoreReadNs:    sp.Stages[obs.StageStoreRead],
+		ComputeNs:      sp.Stages[obs.StageCompute],
+		StoreWriteNs:   sp.Stages[obs.StageStoreWrite],
+	}
+	if sp.HasFingerprint {
+		out.Fingerprint = hex.EncodeToString(sp.Fingerprint[:])
+	}
+	return out
+}
+
+// handleTracez serves GET /debug/tracez.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	jsonFmt := r.URL.Query().Get("format") == "json"
+	if jsonFmt {
+		doc := tracezDoc{}
+		if s.flight != nil {
+			doc.Enabled = true
+			doc.Capacity = s.flight.Cap()
+			spans := s.flight.Snapshot()
+			doc.Spans = make([]tracezSpan, len(spans))
+			for i := range spans {
+				doc.Spans[i] = tracezSpanOf(&spans[i])
+			}
+		}
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(enc, '\n'))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.flight == nil {
+		fmt.Fprintln(w, "flight recorder disabled (start the server with Config.FlightSpans > 0)")
+		return
+	}
+	spans := s.flight.Snapshot()
+	fmt.Fprintf(w, "flight recorder: %d span capacity, %d recorded\n\n", s.flight.Cap(), len(spans))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %-8s  %-11s  %-10s  %-9s  %12s", "TRACE", "OP", "OUTCOME", "SOURCE", "COALESCED", "TOTAL_US")
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		fmt.Fprintf(&b, "  %12s", strings.ToUpper(st.String()))
+	}
+	b.WriteString("  FINGERPRINT\n")
+	for i := range spans {
+		sp := &spans[i]
+		fp := "-"
+		if sp.HasFingerprint {
+			fp = hex.EncodeToString(sp.Fingerprint[:8])
+		}
+		src := sp.Source
+		if src == "" {
+			src = "-"
+		}
+		fmt.Fprintf(&b, "%8d  %-8s  %-11s  %-10s  %-9v  %12.1f", sp.TraceID, sp.Op, sp.Outcome, src, sp.Coalesced, float64(sp.Total)/1e3)
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			fmt.Fprintf(&b, "  %12.1f", float64(sp.Stages[st])/1e3)
+		}
+		b.WriteString("  " + fp + "\n")
+	}
+	fmt.Fprint(w, b.String())
+}

@@ -4,8 +4,9 @@
 # Boots the daemon on an ephemeral port, waits for /healthz, POSTs a fig2
 # label request and diffs the body against the checked-in golden response
 # (cmd/refidemd/testdata/label_fig2.golden — the byte-determinism
-# guarantee, enforced against a live server), exercises /metricz, then
-# sends SIGTERM and verifies the graceful drain exits cleanly.
+# guarantee, enforced against a live server), exercises /metricz and the
+# /debug/tracez flight recorder, then sends SIGTERM and verifies the
+# graceful drain exits cleanly.
 #
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
@@ -52,6 +53,16 @@ curl -sfS "$url/metricz" >"$out/metricz"
 grep -q '^requests_label 2$' "$out/metricz"
 grep -q '^response_cache_hits 1$' "$out/metricz"
 echo "smoke: metricz counters consistent"
+
+# The flight recorder (default -flight 256) must show the label spans:
+# the text table carries op and outcome, the JSON form the same span.
+curl -sfS "$url/debug/tracez" >"$out/tracez"
+grep -q 'label' "$out/tracez"
+grep -q 'ok' "$out/tracez"
+curl -sfS "$url/debug/tracez?format=json" >"$out/tracez.json"
+grep -q '"op": "label"' "$out/tracez.json"
+grep -q '"outcome": "ok"' "$out/tracez.json"
+echo "smoke: tracez shows the label spans"
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
