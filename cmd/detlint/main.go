@@ -55,10 +55,13 @@ import (
 // serializedPkgs are the directories (relative to the module root) whose
 // output must be byte-deterministic: the range-map rule applies here.
 var serializedPkgs = map[string]bool{
-	"internal/service": true,
-	"internal/report":  true,
-	"internal/obs":     true,
-	"cmd/figures":      true,
+	"internal/api":        true,
+	"internal/api/client": true,
+	"internal/cluster":    true,
+	"internal/service":    true,
+	"internal/report":     true,
+	"internal/obs":        true,
+	"cmd/figures":         true,
 }
 
 // allowlist maps a path prefix (a file or a directory, relative to the

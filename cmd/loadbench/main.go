@@ -1,14 +1,24 @@
 // Command loadbench drives the analysis service under load — in-process
-// (library calls straight into internal/service) or over HTTP (loopback
-// POSTs against a self-hosted or external refidemd) — and reports
-// throughput and latency in `go test -bench` row format, so the output
-// pipes into cmd/benchjson and merges into BENCH_results.json.
+// (library calls straight into internal/service), over HTTP (loopback
+// POSTs against a self-hosted or external refidemd), or against a
+// self-hosted multi-node cluster (N in-process replicas behind the
+// consistent-hash router) — and reports throughput and latency in
+// `go test -bench` row format, so the output pipes into cmd/benchjson
+// and merges into BENCH_results.json.
+//
+// All wire traffic goes through internal/api/client: the typed client
+// maps statuses back onto the api error taxonomy and supplies the
+// jittered overload-backoff schedule, so this harness and the router
+// retry identically.
 //
 // Usage:
 //
 //	loadbench                              # in-process, label + simulate phases
 //	loadbench -mode http                   # self-hosts a daemon on a loopback port
 //	loadbench -mode http -url http://H:P   # drives an external refidemd
+//	loadbench -mode cluster -replicas 4    # router over 4 in-process replicas
+//	loadbench -zipf 1.2                    # Zipf-skewed program popularity
+//	loadbench -n-delta 500                 # adds a delta re-label phase
 //	loadbench -merge BENCH_results.json    # also merge rows into the results file
 //
 // Output rows (one per phase):
@@ -17,8 +27,8 @@
 package main
 
 import (
-	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -29,14 +39,18 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"refidem/internal/api"
+	"refidem/internal/api/client"
 	"refidem/internal/benchfmt"
+	"refidem/internal/cluster"
 	"refidem/internal/gen"
+	"refidem/internal/ir"
+	"refidem/internal/lang"
 	"refidem/internal/service"
 )
 
@@ -52,12 +66,15 @@ type options struct {
 	url         string
 	n           int
 	nSimulate   int
+	nDelta      int
 	concurrency int
 	programs    int
 	seed        int64
+	zipf        float64
 	coalesce    bool
 	shards      int
 	workers     int
+	replicas    int
 	merge       string
 }
 
@@ -65,16 +82,19 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("loadbench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var o options
-	fs.StringVar(&o.mode, "mode", "inproc", "driver mode: inproc or http")
+	fs.StringVar(&o.mode, "mode", "inproc", "driver mode: inproc, http or cluster")
 	fs.StringVar(&o.url, "url", "", "target base URL for -mode http (empty self-hosts a daemon)")
 	fs.IntVar(&o.n, "n", 2000, "label requests to issue")
 	fs.IntVar(&o.nSimulate, "n-simulate", 0, "simulate requests to issue (0 = n/4)")
+	fs.IntVar(&o.nDelta, "n-delta", 0, "delta re-label requests to issue (0 skips the phase)")
 	fs.IntVar(&o.concurrency, "concurrency", 32, "concurrent client goroutines")
 	fs.IntVar(&o.programs, "programs", 16, "distinct generated programs in the request rotation")
 	fs.Int64Var(&o.seed, "seed", 1, "program generation seed")
-	fs.BoolVar(&o.coalesce, "coalesce", true, "coalesce identical in-flight requests (in-process and self-hosted)")
-	fs.IntVar(&o.shards, "shards", 8, "cache shards (in-process and self-hosted)")
-	fs.IntVar(&o.workers, "workers", 0, "service workers (0 = all cores)")
+	fs.Float64Var(&o.zipf, "zipf", 0, "Zipf exponent for program popularity (>1; 0 = uniform rotation)")
+	fs.BoolVar(&o.coalesce, "coalesce", true, "coalesce identical in-flight requests (self-hosted modes)")
+	fs.IntVar(&o.shards, "shards", 8, "cache shards (self-hosted modes)")
+	fs.IntVar(&o.workers, "workers", 0, "service workers (0 = all cores; cluster mode defaults to 1 per replica)")
+	fs.IntVar(&o.replicas, "replicas", 4, "replica count for -mode cluster")
 	fs.StringVar(&o.merge, "merge", "", "merge result rows into this BENCH_results.json file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,81 +102,105 @@ func run(args []string, w io.Writer) error {
 	if o.nSimulate == 0 {
 		o.nSimulate = o.n / 4
 	}
+	if o.zipf != 0 && o.zipf <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (rand.NewZipf's domain), got %v", o.zipf)
+	}
 
 	srcs := make([]string, o.programs)
 	profiles := gen.Profiles()
 	for i := range srcs {
 		srcs[i] = gen.FromProfile(profiles[i%len(profiles)], o.seed+int64(i)).Program.Format()
 	}
+	pick := popularity(o, len(srcs))
+	deltas := deltaRequests(srcs)
 
-	var do func(op string, i int) error
+	var post func(req api.Request) error
 	var target string
+	ctx := context.Background()
 	switch o.mode {
 	case "inproc":
-		cfg := service.DefaultConfig()
-		cfg.Coalesce = o.coalesce
-		cfg.Shards = o.shards
-		cfg.Workers = o.workers
-		cfg.QueueDepth = 1 << 16
-		s := service.New(cfg)
+		s := service.New(selfCfg(o, o.workers))
 		defer s.Close()
-		ctx := context.Background()
-		do = func(op string, i int) error {
-			_, err := s.Do(ctx, service.Request{Op: op, Program: srcs[i%len(srcs)]})
+		post = func(req api.Request) error {
+			_, err := s.Do(ctx, req)
 			return err
 		}
 		target = "inproc"
 	case "http":
 		base := o.url
 		if base == "" {
-			cfg := service.DefaultConfig()
-			cfg.Coalesce = o.coalesce
-			cfg.Shards = o.shards
-			cfg.Workers = o.workers
-			cfg.QueueDepth = 1 << 16
-			s := service.New(cfg)
+			s := service.New(selfCfg(o, o.workers))
 			defer s.Close()
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			addr, stop, err := serve(s.Handler())
 			if err != nil {
 				return err
 			}
-			httpSrv := &http.Server{Handler: s.Handler()}
-			go httpSrv.Serve(ln)
-			defer httpSrv.Close()
-			base = "http://" + ln.Addr().String()
+			defer stop()
+			base = addr
 			fmt.Fprintf(os.Stderr, "loadbench: self-hosted daemon at %s\n", base)
 		}
-		client := &http.Client{Timeout: 60 * time.Second}
-		do = func(op string, i int) error {
-			body, err := json.Marshal(service.Request{Program: srcs[i%len(srcs)]})
-			if err != nil {
-				return err
-			}
-			resp, err := client.Post(base+"/v1/"+op, "application/json", bytes.NewReader(body))
-			if err != nil {
-				return err
-			}
-			defer resp.Body.Close()
-			io.Copy(io.Discard, resp.Body)
-			switch resp.StatusCode {
-			case http.StatusOK:
-				return nil
-			case http.StatusServiceUnavailable:
-				oe := &overloadErr{}
-				if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-					oe.retryAfter = time.Duration(secs) * time.Second
-				}
-				return oe
-			default:
-				return fmt.Errorf("%s: status %d", op, resp.StatusCode)
-			}
+		c := client.New(base)
+		post = func(req api.Request) error {
+			_, err := c.Do(ctx, req)
+			return err
 		}
 		target = "http"
+	case "cluster":
+		if o.replicas < 1 {
+			return fmt.Errorf("-replicas must be >= 1, got %d", o.replicas)
+		}
+		workers := o.workers
+		if workers == 0 {
+			workers = 1 // per-replica; makes replica scaling the variable under test
+		}
+		var reps []cluster.Replica
+		for r := 0; r < o.replicas; r++ {
+			s := service.New(selfCfg(o, workers))
+			defer s.Close()
+			addr, stop, err := serve(s.Handler())
+			if err != nil {
+				return err
+			}
+			defer stop()
+			reps = append(reps, cluster.Replica{Name: fmt.Sprintf("rep-%d", r), URL: addr})
+		}
+		rt, err := cluster.New(cluster.Config{Replicas: reps, ProbeInterval: 250 * time.Millisecond})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		addr, stop, err := serve(rt.Handler())
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "loadbench: router at %s over %d replicas\n", addr, o.replicas)
+		c := client.New(addr)
+		post = func(req api.Request) error {
+			_, err := c.Do(ctx, req)
+			return err
+		}
+		target = fmt.Sprintf("cluster/replicas=%d", o.replicas)
 	default:
-		return fmt.Errorf("unknown -mode %q (want inproc or http)", o.mode)
+		return fmt.Errorf("unknown -mode %q (want inproc, http or cluster)", o.mode)
+	}
+	do := func(op string, i int) error {
+		req := request(op, srcs, deltas, pick[i])
+		err := post(req)
+		if err != nil && req.Base != "" && errors.Is(err, api.ErrUnknownBase) {
+			// Evicted base: re-send the full program (re-registering it),
+			// then retry the delta — the documented client recovery.
+			if err = post(api.Request{Op: api.OpLabel, Program: srcs[pick[i]]}); err == nil {
+				err = post(req)
+			}
+		}
+		return err
 	}
 
 	label := fmt.Sprintf("mode=%s/coalesce=%v", target, o.coalesce)
+	if o.zipf > 0 {
+		label += fmt.Sprintf("/zipf=%v", o.zipf)
+	}
 	rows := []row{}
 	for _, phase := range []struct {
 		name string
@@ -165,9 +209,19 @@ func run(args []string, w io.Writer) error {
 	}{
 		{"BenchmarkLoadLabel/" + label, service.OpLabel, o.n},
 		{"BenchmarkLoadSimulate/" + label, service.OpSimulate, o.nSimulate},
+		{"BenchmarkLoadLabelDelta/" + label, opLabelDelta, o.nDelta},
 	} {
 		if phase.n <= 0 {
 			continue
+		}
+		if phase.op == opLabelDelta {
+			// Register every base before timing: the delta phase measures
+			// incremental re-labels, not the bases' first full labels.
+			for i, src := range srcs {
+				if err := post(api.Request{Op: api.OpLabel, Program: src}); err != nil {
+					return fmt.Errorf("pre-seeding base %d: %w", i, err)
+				}
+			}
 		}
 		r, err := drive(phase.name, phase.op, phase.n, o.concurrency, do)
 		if err != nil {
@@ -185,6 +239,96 @@ func run(args []string, w io.Writer) error {
 	return nil
 }
 
+// opLabelDelta is the harness-internal op name for the delta phase; on
+// the wire it is an OpLabel request with Base+Patches set.
+const opLabelDelta = "label-delta"
+
+// selfCfg is the service configuration for self-hosted targets.
+func selfCfg(o options, workers int) service.Config {
+	cfg := service.DefaultConfig()
+	cfg.Coalesce = o.coalesce
+	cfg.Shards = o.shards
+	cfg.Workers = workers
+	cfg.QueueDepth = 1 << 16
+	return cfg
+}
+
+// serve exposes a handler on an ephemeral loopback port.
+func serve(h http.Handler) (addr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// popularity precomputes the request→program assignment: uniform
+// rotation by default, or Zipf-skewed when -zipf is set (popular
+// programs then dominate, exercising the response caches and — in
+// cluster mode — concentrating load on the owners of hot fingerprints).
+func popularity(o options, programs int) []int {
+	n := o.n + o.nSimulate + o.nDelta + programs
+	pick := make([]int, n)
+	if o.zipf == 0 || programs == 1 {
+		for i := range pick {
+			pick[i] = i % programs
+		}
+		return pick
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	z := rand.NewZipf(rng, o.zipf, 1, uint64(programs-1))
+	for i := range pick {
+		pick[i] = int(z.Uint64())
+	}
+	return pick
+}
+
+// deltaRequests builds one delta request per program: the base
+// fingerprint plus a patch shrinking the first loop region by one trip
+// (To -= Step) — a minimal real edit that re-labels only the regions it
+// reaches. Programs with no shrinkable loop fall back to a patch
+// replaying the first region unchanged.
+func deltaRequests(srcs []string) []api.Request {
+	out := make([]api.Request, len(srcs))
+	for i, src := range srcs {
+		p, err := lang.Parse(src)
+		if err != nil || len(p.Regions) == 0 {
+			continue // leave zero value; request() falls back to full label
+		}
+		fp := ir.FingerprintOf(p)
+		target := p.Regions[0]
+		for _, r := range p.Regions {
+			if r.Kind != ir.LoopRegion {
+				continue
+			}
+			if (r.Step > 0 && r.To-r.Step >= r.From) || (r.Step < 0 && r.To-r.Step <= r.From) {
+				target = r
+				r.To -= r.Step
+				break
+			}
+		}
+		out[i] = api.Request{
+			Op:      api.OpLabel,
+			Base:    hex.EncodeToString(fp[:]),
+			Patches: []api.RegionPatch{{Region: target.Name, Source: target.Format()}},
+		}
+	}
+	return out
+}
+
+// request builds the i-th request of a phase.
+func request(op string, srcs []string, deltas []api.Request, prog int) api.Request {
+	if op == opLabelDelta && deltas[prog].Base != "" {
+		return deltas[prog]
+	}
+	if op == opLabelDelta {
+		op = service.OpLabel
+	}
+	return api.Request{Op: op, Program: srcs[prog]}
+}
+
 // row is one measured phase.
 type row struct {
 	name      string
@@ -195,54 +339,15 @@ type row struct {
 	backoffNs int64 // total time spent sleeping between overload retries
 }
 
-// overloadErr is an overload rejection carrying the server's Retry-After
-// hint; it unwraps to service.ErrOverloaded so error branching is uniform
-// across the in-process and HTTP drivers.
-type overloadErr struct {
-	retryAfter time.Duration
-}
-
-func (e *overloadErr) Error() string { return service.ErrOverloaded.Error() }
-func (e *overloadErr) Unwrap() error { return service.ErrOverloaded }
-
-// Overload backoff schedule: jittered exponential, starting at
-// backoffBase, doubling per consecutive rejection, capped at backoffCap —
-// or at the server's Retry-After hint when it sends one (the hint is the
-// server's own estimate of when capacity returns, so the schedule never
-// sleeps past it). A request gives up once it has spent overloadBudget
-// asleep: a target answering 503 forever (shut down, or a proxy in front
-// of a dead daemon) must fail the run instead of spinning indefinitely.
-const (
-	backoffBase    = 200 * time.Microsecond
-	backoffCap     = 100 * time.Millisecond
-	overloadBudget = 10 * time.Second
-)
-
-// backoffFor computes the jittered sleep for the attempt-th consecutive
-// overload (attempt 0 = first rejection). The jitter spreads sleeps over
-// [d/2, 3d/2) so retried clients don't re-collide in lockstep.
-func backoffFor(attempt int, hint time.Duration, jitter func(int64) int64) time.Duration {
-	if attempt > 16 {
-		attempt = 16 // the cap has long since taken over; avoid shift overflow
-	}
-	d := backoffBase << attempt
-	limit := backoffCap
-	if hint > 0 {
-		limit = hint
-	}
-	if d > limit {
-		d = limit
-	}
-	return d/2 + time.Duration(jitter(int64(d)))
-}
-
 // drive issues n requests of one op across the concurrent clients,
-// retrying overload rejections with jittered exponential backoff —
-// backpressure is expected behaviour under saturation, not failure.
+// retrying overload rejections with the client package's jittered
+// exponential backoff — backpressure is expected behaviour under
+// saturation, not failure.
 func drive(name, op string, n, concurrency int, do func(op string, i int) error) (row, error) {
 	if concurrency < 1 {
 		concurrency = 1
 	}
+	bo := client.DefaultBackoff()
 	var (
 		next      atomic.Int64
 		retries   atomic.Int64
@@ -271,13 +376,8 @@ func drive(name, op string, n, concurrency int, do func(op string, i int) error)
 					if err == nil {
 						break
 					}
-					if errors.Is(err, service.ErrOverloaded) && slept < overloadBudget {
-						var hint time.Duration
-						var oe *overloadErr
-						if errors.As(err, &oe) {
-							hint = oe.retryAfter
-						}
-						d := backoffFor(attempt, hint, rng.Int63n)
+					if errors.Is(err, service.ErrOverloaded) && slept < bo.Budget {
+						d := bo.SleepFor(attempt, client.RetryAfterHint(err), rng.Int63n)
 						retries.Add(1)
 						backoffNs.Add(int64(d))
 						slept += d

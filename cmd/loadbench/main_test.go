@@ -86,36 +86,58 @@ func TestMergeRows(t *testing.T) {
 	}
 }
 
-// TestBackoffSchedule pins the overload backoff: exponential growth from
-// the base, jitter inside [d/2, 3d/2), the default cap, and the server's
-// Retry-After hint replacing the cap as the ceiling.
-func TestBackoffSchedule(t *testing.T) {
-	// jitter=0 exposes the lower envelope d/2 deterministically.
-	floor := func(n int64) int64 { return 0 }
-	for attempt, want := range []time.Duration{
-		backoffBase / 2, backoffBase, 2 * backoffBase, 4 * backoffBase,
+// TestClusterSelfHosted drives the router-over-replicas path end to end,
+// including a delta phase and Zipf-skewed popularity.
+func TestClusterSelfHosted(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mode", "cluster", "-replicas", "2", "-n", "24",
+		"-n-simulate", "4", "-n-delta", "12", "-concurrency", "4",
+		"-programs", "3", "-zipf", "1.3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"BenchmarkLoadLabel/mode=cluster/replicas=2/coalesce=true/zipf=1.3",
+		"BenchmarkLoadLabelDelta/mode=cluster/replicas=2/coalesce=true/zipf=1.3",
 	} {
-		if got := backoffFor(attempt, 0, floor); got != want {
-			t.Errorf("attempt %d: backoff = %v, want %v", attempt, got, want)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing row %q:\n%s", want, out.String())
 		}
 	}
-	// Deep attempts are capped (and the shift must not overflow).
-	for _, attempt := range []int{12, 16, 63, 1000} {
-		if got := backoffFor(attempt, 0, floor); got != backoffCap/2 {
-			t.Errorf("attempt %d: backoff = %v, want cap envelope %v", attempt, got, backoffCap/2)
-		}
+}
+
+// TestDeltaPhaseInproc exercises the delta phase without the wire: the
+// pre-seed registers every base, then the phase issues Base+Patches
+// requests.
+func TestDeltaPhaseInproc(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-n", "8", "-n-simulate", "1", "-n-delta", "16",
+		"-concurrency", "2", "-programs", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// A Retry-After hint becomes the ceiling: the schedule never sleeps
-	// past what the server promised.
-	hint := 2 * time.Second
-	if got := backoffFor(1000, hint, floor); got != hint/2 {
-		t.Errorf("hinted backoff = %v, want %v", got, hint/2)
+	if !strings.Contains(out.String(), "BenchmarkLoadLabelDelta/mode=inproc/coalesce=true") {
+		t.Errorf("missing delta row:\n%s", out.String())
 	}
-	// Full jitter stays within [d/2, 3d/2).
-	ceil := func(n int64) int64 { return n - 1 }
-	d := backoffFor(3, 0, ceil)
-	if lo, hi := 4*backoffBase, 12*backoffBase; d < lo || d >= hi {
-		t.Errorf("jittered backoff %v outside [%v, %v)", d, lo, hi)
+}
+
+// TestDeltaRequestsMutateLoops checks the generated patches are real
+// edits: every program with a shrinkable loop gets a Base+Patches
+// request whose patch parses and differs from the original region.
+func TestDeltaRequestsMutateLoops(t *testing.T) {
+	srcs := []string{
+		"program p1\nvar a[8]\nregion r0 loop k = 0 to 7 {\n  a[k] = (k + 1)\n}\n",
+	}
+	deltas := deltaRequests(srcs)
+	if deltas[0].Base == "" || len(deltas[0].Patches) != 1 {
+		t.Fatalf("no delta built: %+v", deltas[0])
+	}
+	p := deltas[0].Patches[0]
+	if p.Region != "r0" {
+		t.Fatalf("patched region %q", p.Region)
+	}
+	if !strings.Contains(p.Source, "0 to 6") {
+		t.Fatalf("patch did not shrink the loop:\n%s", p.Source)
 	}
 }
 

@@ -1,0 +1,160 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Typed service errors — the protocol's failure taxonomy. The server
+// maps them to HTTP statuses with WriteError; the client maps statuses
+// back with ErrorFromStatus, so errors.Is branching works identically
+// in-process and across the wire.
+var (
+	// ErrBadRequest wraps malformed requests: unparseable programs,
+	// unknown examples, invalid parameters.
+	ErrBadRequest = errors.New("bad request")
+	// ErrOverloaded is returned when the admission queue is full. The
+	// request was not admitted; the caller may retry after the
+	// Retry-After hint.
+	ErrOverloaded = errors.New("overloaded: admission queue full")
+	// ErrClosed is returned for requests submitted after Close began.
+	ErrClosed = errors.New("server closed")
+	// ErrTimeout is returned when a request exceeds the server's
+	// configured per-request deadline. The HTTP layer maps it to 504.
+	ErrTimeout = errors.New("request deadline exceeded")
+	// ErrUnknownBase is returned for delta requests whose base
+	// fingerprint the server does not hold (never analyzed, or evicted
+	// from the base registry). The client recovers by re-sending the
+	// full program.
+	ErrUnknownBase = errors.New("unknown base fingerprint")
+)
+
+// ErrorClass is one row of the error taxonomy: the stable wire code, the
+// sentinel error it classifies, the HTTP status it is served as, and the
+// Retry-After hint in seconds (0 means the response carries none).
+type ErrorClass struct {
+	Code       string
+	Err        error
+	Status     int
+	RetryAfter int
+}
+
+// Taxonomy is the wire-error table, in classification order. WriteError
+// and Classify walk it front to back, so more specific classes must
+// precede more general ones (they are currently disjoint).
+var Taxonomy = []ErrorClass{
+	{Code: "bad_request", Err: ErrBadRequest, Status: http.StatusBadRequest},
+	{Code: "unknown_base", Err: ErrUnknownBase, Status: http.StatusNotFound},
+	{Code: "overloaded", Err: ErrOverloaded, Status: http.StatusServiceUnavailable, RetryAfter: 1},
+	{Code: "timeout", Err: ErrTimeout, Status: http.StatusGatewayTimeout},
+	{Code: "closed", Err: ErrClosed, Status: http.StatusServiceUnavailable},
+}
+
+// internalClass is the fallback for unclassified errors.
+var internalClass = ErrorClass{Code: "internal", Status: http.StatusInternalServerError}
+
+// canceledClass serves context cancellation: the client went away or the
+// deadline passed outside the server's own timeout, so 503 tells a proxy
+// the request may be retried elsewhere.
+var canceledClass = ErrorClass{Code: "canceled", Status: http.StatusServiceUnavailable}
+
+// Classify maps an error to its taxonomy row. Unrecognized errors
+// classify as internal (HTTP 500).
+func Classify(err error) ErrorClass {
+	for _, c := range Taxonomy {
+		if errors.Is(err, c.Err) {
+			return c
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return canceledClass
+	}
+	return internalClass
+}
+
+// ErrorDoc is the JSON error body served for failed requests.
+type ErrorDoc struct {
+	Error string `json:"error"`
+}
+
+// WriteError serves err as its taxonomy class: status, optional
+// Retry-After header and the {"error": ...} JSON document.
+func WriteError(w http.ResponseWriter, err error) {
+	c := Classify(err)
+	if c.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(c.RetryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(c.Status)
+	doc, _ := json.Marshal(ErrorDoc{Error: err.Error()})
+	w.Write(append(doc, '\n'))
+}
+
+// RemoteError is a service error received over the wire: the server's
+// message, the taxonomy sentinel it unwraps to (so errors.Is works like
+// the in-process API), and the server's Retry-After hint if any.
+type RemoteError struct {
+	// Msg is the server's error message, verbatim.
+	Msg string
+	// Status is the HTTP status the error arrived as.
+	Status int
+	// RetryAfterSeconds is the parsed Retry-After header (0 = none).
+	RetryAfterSeconds int
+
+	sentinel error
+}
+
+// Error returns the server's message verbatim, so re-serving a
+// RemoteError with WriteError reproduces the upstream error document
+// byte for byte — the property the router's proxy relies on.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Unwrap exposes the taxonomy sentinel for errors.Is.
+func (e *RemoteError) Unwrap() error { return e.sentinel }
+
+// ErrorFromStatus reconstructs the typed error of a non-200 response
+// from its status, Retry-After header and body. The result unwraps to
+// the matching taxonomy sentinel; statuses outside the taxonomy yield a
+// RemoteError wrapping nothing.
+func ErrorFromStatus(status int, retryAfter string, body []byte) error {
+	var doc ErrorDoc
+	msg := ""
+	if json.Unmarshal(body, &doc) == nil {
+		msg = doc.Error
+	}
+	e := &RemoteError{Status: status, Msg: msg}
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		e.RetryAfterSeconds = secs
+	}
+	// Prefer the message prefix: wrapped sentinels put it first, and it
+	// distinguishes the classes sharing a status (closed and overloaded
+	// are both 503). Fall back to the status for bodies the server did
+	// not produce (a proxy's own 503, say).
+	for _, c := range Taxonomy {
+		if strings.HasPrefix(msg, c.Err.Error()) {
+			e.sentinel = c.Err
+			break
+		}
+	}
+	if e.sentinel == nil {
+		for _, c := range Taxonomy {
+			if c.Status == status {
+				e.sentinel = c.Err
+				break
+			}
+		}
+	}
+	if e.Msg == "" {
+		if e.sentinel != nil {
+			e.Msg = e.sentinel.Error()
+		} else {
+			e.Msg = fmt.Sprintf("http status %d", status)
+		}
+	}
+	return e
+}

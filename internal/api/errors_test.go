@@ -1,0 +1,110 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err    error
+		code   string
+		status int
+	}{
+		{fmt.Errorf("%w: boom", ErrBadRequest), "bad_request", 400},
+		{fmt.Errorf("%w: ab12", ErrUnknownBase), "unknown_base", 404},
+		{ErrOverloaded, "overloaded", 503},
+		{ErrTimeout, "timeout", 504},
+		{ErrClosed, "closed", 503},
+		{context.Canceled, "canceled", 503},
+		{errors.New("mystery"), "internal", 500},
+	}
+	for _, tc := range cases {
+		c := Classify(tc.err)
+		if c.Code != tc.code || c.Status != tc.status {
+			t.Errorf("Classify(%v) = %s/%d, want %s/%d", tc.err, c.Code, c.Status, tc.code, tc.status)
+		}
+	}
+}
+
+// WriteError → ErrorFromStatus must round-trip every taxonomy class:
+// same sentinel under errors.Is, message preserved verbatim, Retry-After
+// hint carried. This is the property that makes the router's re-served
+// errors indistinguishable from the replica's own.
+func TestErrorWireRoundTrip(t *testing.T) {
+	cases := []error{
+		fmt.Errorf("%w: 3:1: expected expression", ErrBadRequest),
+		fmt.Errorf("%w: ab12cd", ErrUnknownBase),
+		ErrOverloaded,
+		fmt.Errorf("%w", ErrTimeout),
+		ErrClosed,
+	}
+	for _, orig := range cases {
+		rec := httptest.NewRecorder()
+		WriteError(rec, orig)
+		got := ErrorFromStatus(rec.Code, rec.Header().Get("Retry-After"), rec.Body.Bytes())
+
+		origClass := Classify(orig)
+		if !errors.Is(got, origClass.Err) {
+			t.Errorf("%v: round-trip lost the sentinel (got %v)", orig, got)
+		}
+		if got.Error() != orig.Error() {
+			t.Errorf("%v: message changed to %q", orig, got.Error())
+		}
+		var re *RemoteError
+		if !errors.As(got, &re) {
+			t.Fatalf("%v: round-trip is %T", orig, got)
+		}
+		if re.Status != origClass.Status || re.RetryAfterSeconds != origClass.RetryAfter {
+			t.Errorf("%v: status/hint = %d/%d, want %d/%d",
+				orig, re.Status, re.RetryAfterSeconds, origClass.Status, origClass.RetryAfter)
+		}
+
+		// Re-serving the round-tripped error reproduces the original
+		// response byte for byte.
+		rec2 := httptest.NewRecorder()
+		WriteError(rec2, got)
+		if rec2.Code != rec.Code || rec2.Body.String() != rec.Body.String() {
+			t.Errorf("%v: re-served response differs:\n%d %q\n%d %q",
+				orig, rec.Code, rec.Body.String(), rec2.Code, rec2.Body.String())
+		}
+	}
+}
+
+// The two 503 classes must disambiguate by message prefix.
+func TestErrorFromStatusDisambiguates503(t *testing.T) {
+	closed := ErrorFromStatus(503, "", []byte(`{"error":"server closed"}`))
+	if !errors.Is(closed, ErrClosed) || errors.Is(closed, ErrOverloaded) {
+		t.Fatalf("closed 503 classified as %v", closed)
+	}
+	over := ErrorFromStatus(503, "1", []byte(`{"error":"overloaded: admission queue full"}`))
+	if !errors.Is(over, ErrOverloaded) {
+		t.Fatalf("overloaded 503 classified as %v", over)
+	}
+}
+
+// Statuses and bodies the server never produced (a proxy's own error
+// page, say) still classify by status, or wrap nothing when unknown.
+func TestErrorFromStatusForeignResponses(t *testing.T) {
+	byStatus := ErrorFromStatus(400, "", []byte("<html>nginx</html>"))
+	if !errors.Is(byStatus, ErrBadRequest) {
+		t.Fatalf("foreign 400: %v", byStatus)
+	}
+	unknown := ErrorFromStatus(http.StatusTeapot, "", nil)
+	var re *RemoteError
+	if !errors.As(unknown, &re) || re.Status != http.StatusTeapot {
+		t.Fatalf("foreign 418: %v", unknown)
+	}
+	for _, c := range Taxonomy {
+		if errors.Is(unknown, c.Err) {
+			t.Fatalf("418 wrongly unwraps to %v", c.Err)
+		}
+	}
+	if unknown.Error() != "http status 418" {
+		t.Fatalf("empty-body message = %q", unknown.Error())
+	}
+}

@@ -1,0 +1,141 @@
+// Package cluster is the multi-node scale-out layer: a consistent-hash
+// ring with virtual nodes and bounded-load placement, and an HTTP router
+// (see router.go) that spreads /v1 analysis requests across refidemd
+// replicas by program fingerprint, ejects unhealthy replicas, and fails
+// over deterministically along the ring's successor order.
+//
+// Placement is a pure function of the member set and the key: every
+// router instance with the same replica list routes every key to the
+// same replica, with the same failover order — no coordination, no
+// shared state. Combined with the service's byte-deterministic
+// responses, any replica's answer for a key is interchangeable with any
+// other's, so failover and rebalancing are invisible to clients at the
+// byte level.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member when Ring callers
+// pass 0: enough points that member loads stay within a few percent of
+// even for realistic member counts, small enough that ring construction
+// and memory stay trivial.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed member set. Construction
+// is deterministic: equal member sets (in any order) produce identical
+// rings. A Ring is immutable and safe for concurrent use; membership
+// changes build a new Ring, which remaps only the keys whose owning arc
+// moved (~K/N of them for one member joining or leaving N members).
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes per
+// member (0 selects DefaultVNodes). Duplicate member names collapse to
+// one. An empty member set yields a ring whose lookups return nothing.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := append([]string(nil), members...)
+	sort.Strings(uniq)
+	n := 0
+	for i, m := range uniq {
+		if i == 0 || uniq[i-1] != m {
+			uniq[n] = m
+			n++
+		}
+	}
+	uniq = uniq[:n]
+	r := &Ring{members: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for mi, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := sha256.Sum256([]byte(m + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				hash:   binary.BigEndian.Uint64(h[:8]),
+				member: int32(mi),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Members returns the member names, sorted. The slice is shared; do not
+// mutate.
+func (r *Ring) Members() []string { return r.members }
+
+// hashKey positions a key on the ring.
+func hashKey(key string) uint64 {
+	h := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// succIdx returns the index of the first ring point at or after the
+// key's position, wrapping.
+func (r *Ring) succIdx(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.succIdx(key)].member]
+}
+
+// Sequence appends the key's deterministic failover order to buf and
+// returns it: every member exactly once, ordered by first appearance
+// walking the ring clockwise from the key's position. The first entry is
+// the owner; a router that cannot reach it tries the rest in order, so
+// every router agrees on where a key lands after any number of failures.
+func (r *Ring) Sequence(key string, buf []string) []string {
+	buf = buf[:0]
+	if len(r.points) == 0 {
+		return buf
+	}
+	start := r.succIdx(key)
+	var seen uint64 // member-index bitset for the common (≤64 member) case
+	var seenBig []bool
+	if len(r.members) > 64 {
+		seenBig = make([]bool, len(r.members))
+	}
+	for i := 0; i < len(r.points) && len(buf) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seenBig != nil {
+			if seenBig[p.member] {
+				continue
+			}
+			seenBig[p.member] = true
+		} else {
+			if seen&(1<<uint(p.member)) != 0 {
+				continue
+			}
+			seen |= 1 << uint(p.member)
+		}
+		buf = append(buf, r.members[p.member])
+	}
+	return buf
+}

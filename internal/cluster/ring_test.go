@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func keysN(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+func membersN(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return ms
+}
+
+// Placement must be a pure function of the member *set*: shuffling the
+// member list (and handing in duplicates) must not move a single key or
+// change a single failover sequence.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := membersN(7)
+	a := NewRing(members, 0)
+
+	shuffled := append([]string(nil), members...)
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	shuffled = append(shuffled, members[3], members[0]) // duplicates collapse
+	b := NewRing(shuffled, 0)
+
+	var bufA, bufB []string
+	for _, k := range keysN(2000) {
+		if oa, ob := a.Owner(k), b.Owner(k); oa != ob {
+			t.Fatalf("Owner(%q) differs across member orderings: %q vs %q", k, oa, ob)
+		}
+		bufA = a.Sequence(k, bufA)
+		bufB = b.Sequence(k, bufB)
+		if len(bufA) != len(bufB) {
+			t.Fatalf("Sequence(%q) lengths differ: %d vs %d", k, len(bufA), len(bufB))
+		}
+		for i := range bufA {
+			if bufA[i] != bufB[i] {
+				t.Fatalf("Sequence(%q)[%d] differs: %q vs %q", k, i, bufA[i], bufB[i])
+			}
+		}
+	}
+}
+
+// Sequence must enumerate every member exactly once, owner first.
+func TestRingSequenceCoversAllMembersOnce(t *testing.T) {
+	r := NewRing(membersN(9), 0)
+	var buf []string
+	for _, k := range keysN(500) {
+		buf = r.Sequence(k, buf)
+		if len(buf) != 9 {
+			t.Fatalf("Sequence(%q) has %d entries, want 9", k, len(buf))
+		}
+		if buf[0] != r.Owner(k) {
+			t.Fatalf("Sequence(%q)[0] = %q, Owner = %q", k, buf[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range buf {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats member %q", k, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// The consistent-hashing contract: removing one member from N remaps
+// exactly the removed member's keys (everything else stays put), which
+// is ~K/N of them; adding a member remaps keys only *to* the new member.
+func TestRingMembershipChangeRemapsFewKeys(t *testing.T) {
+	const K = 10000
+	members := membersN(10)
+	keys := keysN(K)
+	before := NewRing(members, 0)
+
+	t.Run("remove", func(t *testing.T) {
+		after := NewRing(members[1:], 0) // drop replica-0
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := before.Owner(k), after.Owner(k)
+			if oldOwner == newOwner {
+				continue
+			}
+			moved++
+			if oldOwner != "replica-0" {
+				t.Fatalf("key %q moved from surviving member %q to %q", k, oldOwner, newOwner)
+			}
+		}
+		// Expect ~K/N moved; allow 2x for hash-arc variance at 64 vnodes.
+		if max := 2 * K / len(members); moved > max {
+			t.Fatalf("removal remapped %d of %d keys, want ≤ ~K/N (max %d)", moved, K, max)
+		}
+		if moved == 0 {
+			t.Fatalf("removal remapped no keys; ring is not spreading load")
+		}
+	})
+
+	t.Run("add", func(t *testing.T) {
+		after := NewRing(append([]string{"replica-new"}, members...), 0)
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := before.Owner(k), after.Owner(k)
+			if oldOwner == newOwner {
+				continue
+			}
+			moved++
+			if newOwner != "replica-new" {
+				t.Fatalf("key %q moved to surviving member %q, not the new member", k, newOwner)
+			}
+		}
+		if max := 2 * K / (len(members) + 1); moved > max {
+			t.Fatalf("join remapped %d of %d keys, want ≤ ~K/(N+1) (max %d)", moved, K, max)
+		}
+		if moved == 0 {
+			t.Fatalf("join remapped no keys; the new member owns nothing")
+		}
+	})
+}
+
+// Surviving-member failover must be consistent with the smaller ring:
+// when a member dies, skipping it in the old Sequence yields the same
+// leading order the rebuilt ring would produce for most keys. (They can
+// differ only where the dead member's vnodes interleave the walk, which
+// is exactly the ~K/N arc the consistency bound covers — so we assert
+// the owner-after-failure matches the rebuilt ring's owner exactly.)
+func TestRingFailoverMatchesRebuiltRing(t *testing.T) {
+	members := membersN(6)
+	full := NewRing(members, 0)
+	rebuilt := NewRing(members[1:], 0) // replica-0 died
+	var buf []string
+	for _, k := range keysN(3000) {
+		buf = full.Sequence(k, buf)
+		next := ""
+		for _, m := range buf {
+			if m != "replica-0" {
+				next = m
+				break
+			}
+		}
+		if want := rebuilt.Owner(k); next != want {
+			t.Fatalf("failover owner for %q = %q, rebuilt ring says %q", k, next, want)
+		}
+	}
+}
+
+// Load must stay roughly even: no member owns more than ~2x fair share
+// at DefaultVNodes.
+func TestRingBalance(t *testing.T) {
+	members := membersN(8)
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const K = 20000
+	for _, k := range keysN(K) {
+		counts[r.Owner(k)]++
+	}
+	fair := K / len(members)
+	for _, m := range members {
+		if c := counts[m]; c > 2*fair || c < fair/3 {
+			t.Fatalf("member %q owns %d of %d keys (fair share %d): imbalance too large", m, c, K, fair)
+		}
+	}
+}
+
+// Ring must survive >64 members (the Sequence bitset falls back to a
+// slice) and keep the exactly-once property.
+func TestRingManyMembers(t *testing.T) {
+	r := NewRing(membersN(70), 8)
+	buf := r.Sequence("some-key", nil)
+	if len(buf) != 70 {
+		t.Fatalf("Sequence covers %d of 70 members", len(buf))
+	}
+	seen := map[string]bool{}
+	for _, m := range buf {
+		if seen[m] {
+			t.Fatalf("member %q repeated", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+	if got := empty.Sequence("k", nil); len(got) != 0 {
+		t.Fatalf("empty ring Sequence has %d entries", len(got))
+	}
+	one := NewRing([]string{"only"}, 0)
+	for _, k := range keysN(10) {
+		if got := one.Owner(k); got != "only" {
+			t.Fatalf("single-member ring Owner(%q) = %q", k, got)
+		}
+	}
+}
+
+func BenchmarkRouterRoute(b *testing.B) {
+	rt, err := New(Config{
+		Replicas: []Replica{
+			{Name: "a", URL: "http://127.0.0.1:1"},
+			{Name: "b", URL: "http://127.0.0.1:2"},
+			{Name: "c", URL: "http://127.0.0.1:3"},
+			{Name: "d", URL: "http://127.0.0.1:4"},
+		},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	keys := keysN(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := rt.sequence(keys[i%len(keys)], false)
+		if len(seq) == 0 {
+			b.Fatal("no replica")
+		}
+	}
+}

@@ -158,6 +158,17 @@ func LabelRegionConservative(p *ir.Program, r *ir.Region, liveOut map[*ir.Var]bo
 	return labelRegion(r, dataflow.AnalyzeRegion(p, r, liveOut), true)
 }
 
+// LabelRegionWithInfo labels one region from a precomputed dataflow
+// RegionInfo (as produced by dataflow.AnalyzeProgram or AnalyzeRegion).
+// It is the per-region body of LabelProgram: labeling a region through it
+// with the RegionInfo a whole-program analysis produced yields exactly
+// the Result LabelProgram would have produced for that region. The
+// service's delta re-labeling path uses it to recompute only regions
+// whose analysis inputs changed.
+func LabelRegionWithInfo(r *ir.Region, info *dataflow.RegionInfo) *Result {
+	return labelRegion(r, info, false)
+}
+
 // LabelProgram labels every region of the program, using the inter-region
 // liveness pass for live-out sets.
 func LabelProgram(p *ir.Program) map[*ir.Region]*Result {

@@ -1,6 +1,10 @@
 package ir
 
-import "crypto/sha256"
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
 
 // Fingerprint is a content hash of a program: two programs with equal
 // fingerprints are structurally identical (same variables, regions,
@@ -16,4 +20,44 @@ type Fingerprint [sha256.Size]byte
 // of everything the analyses see.
 func FingerprintOf(p *Program) Fingerprint {
 	return sha256.Sum256([]byte(p.Format()))
+}
+
+// RegionFingerprintOf computes the analysis fingerprint of one region of
+// p: a hash over every program-level input the region's labeling depends
+// on —
+//
+//   - the region's canonical rendering (structure, annotations, early
+//     exits, the statements of every segment);
+//   - the procedure table (calls inline procedure bodies into the
+//     region's reference stream, so a procedure edit must change the
+//     fingerprint of every region calling it);
+//   - the declared dimensions of every variable the region references,
+//     in region-local (first-use) order;
+//   - the region's live-out bit for each of those variables, supplied by
+//     liveOut (nil means no variable is live out).
+//
+// The labeling pipeline (dataflow attributes, dependence analysis, RFW,
+// Algorithm 2) reads nothing else about the enclosing program, so two
+// regions with equal fingerprints — even in different programs — label
+// identically. The service's delta re-labeling path keys its per-region
+// result cache on this.
+func RegionFingerprintOf(p *Program, r *Region, liveOut func(*Var) bool) Fingerprint {
+	var b strings.Builder
+	for _, pr := range p.Procs {
+		fmt.Fprintf(&b, "proc %s(%s) {\n", pr.Name, strings.Join(pr.Params, ", "))
+		writeStmts(&b, pr.Body, "  ")
+		b.WriteString("}\n")
+	}
+	b.WriteString(r.Format())
+	for _, v := range r.DenseIndex().Vars {
+		fmt.Fprintf(&b, "var %s", v.Name)
+		for _, d := range v.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		if liveOut != nil && liveOut(v) {
+			b.WriteString(" live")
+		}
+		b.WriteString("\n")
+	}
+	return sha256.Sum256([]byte(b.String()))
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"refidem/internal/gen"
+	"refidem/internal/lang"
 )
 
 // benchSources returns n distinct generated program sources: the request
@@ -152,4 +153,46 @@ func BenchmarkServiceSimulateThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServiceLabelDelta measures the steady-state delta path with
+// the response byte cache off: resolve the base from the registry, apply
+// the patch, parse and analyze the composed program, and serve every
+// region from the fragment cache (the warm-up request re-labeled the
+// patched region; iterations reuse it). This is the cost a client pays
+// for an incremental edit versus BenchmarkServiceLabelThroughput's full
+// pipeline. Single caller, so the allocs gate is exact.
+func BenchmarkServiceLabelDelta(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.ResponseCache = -1 // measure the delta path, not byte replay
+	s := New(cfg)
+	defer s.Close()
+	ctx := context.Background()
+
+	src := benchSources(1)[0]
+	p, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Label(ctx, Request{Program: src}); err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Base: fpHexOf(b, src), Patches: []RegionPatch{mutateFirstRegion(b, src, p)}}
+	if _, err := s.Label(ctx, req); err != nil {
+		b.Fatal(err) // warm-up: re-labels the patched region once
+	}
+	relabeledWarm := s.Metrics().SnapshotNow().RegionsRelabeled
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Label(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if snap := s.Metrics().SnapshotNow(); snap.RegionsRelabeled != relabeledWarm {
+		b.Fatalf("relabeled grew %d -> %d: steady state must be pure fragment reuse",
+			relabeledWarm, snap.RegionsRelabeled)
+	}
 }

@@ -2,12 +2,12 @@ package service
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"refidem/internal/api"
 )
 
 // maxRequestBody bounds a request document; maxBatchItems bounds how many
@@ -17,21 +17,6 @@ const (
 	maxRequestBody = 4 << 20
 	maxBatchItems  = 256
 )
-
-// BatchRequest is the /v1/batch document.
-type BatchRequest struct {
-	Requests []Request `json:"requests"`
-}
-
-// BatchResponse is the /v1/batch reply: one entry per request, in order.
-// Failed items carry {"error": ...} in place of their response document.
-type BatchResponse struct {
-	Responses []json.RawMessage `json:"responses"`
-}
-
-type errorDoc struct {
-	Error string `json:"error"`
-}
 
 // Handler returns the server's HTTP API:
 //
@@ -137,7 +122,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := BatchResponse{Responses: make([]json.RawMessage, len(resps))}
 	for i := range resps {
 		if errs[i] != nil {
-			doc, _ := json.Marshal(errorDoc{Error: errs[i].Error()})
+			doc, _ := json.Marshal(api.ErrorDoc{Error: errs[i].Error()})
 			out.Responses[i] = doc
 			continue
 		}
@@ -165,24 +150,5 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 }
 
 // writeError maps a service error to its HTTP status and a JSON error
-// document.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrOverloaded):
-		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, ErrTimeout):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusServiceUnavailable
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	doc, _ := json.Marshal(errorDoc{Error: err.Error()})
-	w.Write(append(doc, '\n'))
-}
+// document per the api taxonomy.
+func writeError(w http.ResponseWriter, err error) { api.WriteError(w, err) }

@@ -39,6 +39,19 @@ type Metrics struct {
 	// deadline (served as 504 by the HTTP layer).
 	timeouts atomic.Int64
 
+	// Delta re-labeling counters (see delta.go). deltaRequests counts
+	// requests that resolved through the base registry (response-cache
+	// hits on repeated deltas do not reach resolution and are counted
+	// under respHits); deltaUnknownBase counts delta requests whose base
+	// the registry did not hold (served as 404). regionsReused and
+	// regionsRelabeled count, over delta label computations, regions
+	// answered from the fragment cache versus re-labeled — their ratio is
+	// the realized incrementality.
+	deltaRequests    atomic.Int64
+	deltaUnknownBase atomic.Int64
+	regionsReused    atomic.Int64
+	regionsRelabeled atomic.Int64
+
 	// Persistent-store counters (all zero when no store is configured).
 	// storeWarmHits counts tasks answered from the warm-start index;
 	// storeHits counts tasks answered by a runtime backend read;
@@ -114,6 +127,8 @@ type Snapshot struct {
 	Computed, RespHits, Batches, BatchTasks     int64
 	LatencyCount, LatencySumNs                  int64
 	Timeouts                                    int64
+	DeltaRequests, DeltaUnknownBase             int64
+	RegionsReused, RegionsRelabeled             int64
 	StoreWarmHits, StoreHits, StoreWarmEntries  int64
 	StoreWrites, StoreWriteErrors               int64
 	StoreDroppedWrites, StoreCorrupt            int64
@@ -139,6 +154,10 @@ func (m *Metrics) SnapshotNow() Snapshot {
 		BatchTasks:          m.batchTasks.Load(),
 		LatencySumNs:        m.latencySumNs.Load(),
 		Timeouts:            m.timeouts.Load(),
+		DeltaRequests:       m.deltaRequests.Load(),
+		DeltaUnknownBase:    m.deltaUnknownBase.Load(),
+		RegionsReused:       m.regionsReused.Load(),
+		RegionsRelabeled:    m.regionsRelabeled.Load(),
 		StoreWarmHits:       m.storeWarmHits.Load(),
 		StoreHits:           m.storeHits.Load(),
 		StoreWarmEntries:    m.storeWarmEntries.Load(),
@@ -177,6 +196,20 @@ func (s *Server) RenderMetricz() string {
 	w("rejected_overloaded", m.overloaded.Load())
 	w("coalesced_requests", m.coalesced.Load())
 	w("tasks_computed", m.computed.Load())
+	w("delta_requests", m.deltaRequests.Load())
+	w("delta_unknown_base", m.deltaUnknownBase.Load())
+	w("delta_regions_reused", m.regionsReused.Load())
+	w("delta_regions_relabeled", m.regionsRelabeled.Load())
+	if s.bases != nil {
+		w("delta_base_entries", int64(s.bases.len()))
+	} else {
+		w("delta_base_entries", 0)
+	}
+	if s.frags != nil {
+		w("delta_fragment_entries", int64(s.frags.len()))
+	} else {
+		w("delta_fragment_entries", 0)
+	}
 	w("dispatch_batches", m.batches.Load())
 	w("dispatch_batch_tasks", m.batchTasks.Load())
 	w("trace_compiled", m.traceCompiled.Load())

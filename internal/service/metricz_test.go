@@ -31,6 +31,9 @@ func TestRenderMetriczLineOrder(t *testing.T) {
 		"requests_timeline",
 		"requests_bad", "requests_timeout",
 		"rejected_overloaded", "coalesced_requests", "tasks_computed",
+		"delta_requests", "delta_unknown_base",
+		"delta_regions_reused", "delta_regions_relabeled",
+		"delta_base_entries", "delta_fragment_entries",
 		"dispatch_batches", "dispatch_batch_tasks",
 		"trace_compiled", "trace_bailouts", "guard_elided",
 	}

@@ -222,31 +222,8 @@ func (s *Server) closeStore() {
 	close(s.probeStop)
 }
 
-// Health is the /healthz document. Field order is fixed; the document is
-// deterministic given the counters it reports.
-type Health struct {
-	// Status is "ok" whenever the server is accepting requests; the
-	// store degrading does not make the server unhealthy, it makes it
-	// memory-only.
-	Status string `json:"status"`
-	// Store is "ok", "degraded" or "disabled".
-	Store string `json:"store"`
-	// Tracing reports whether the simulate engines run with the trace
-	// JIT enabled (Config.Engine.Traced). It changes simulate cycle
-	// counts, never results, so clients comparing documents across
-	// servers need to know.
-	Tracing bool `json:"tracing"`
-	// StoreQuarantined counts records the backend quarantined (recovery
-	// scan plus runtime detections). Always 0 when the store is disabled.
-	StoreQuarantined int64 `json:"store_quarantined"`
-	// StoreWarmHits counts requests answered from the warm-start index.
-	StoreWarmHits int64 `json:"store_warm_hits"`
-	// StoreWarmEntries is the number of warm-start records not yet
-	// served.
-	StoreWarmEntries int64 `json:"store_warm_entries"`
-}
-
-// Health reports the server's health document (served on /healthz).
+// Health reports the server's health document (served on /healthz). The
+// document type lives in internal/api (aliased in request.go).
 func (s *Server) Health() Health {
 	h := Health{
 		Status:           "ok",

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"refidem/internal/api"
 	"refidem/internal/engine"
 	"refidem/internal/idem"
 	"refidem/internal/ir"
@@ -13,39 +14,48 @@ import (
 	"refidem/internal/workloads"
 )
 
-// Operation names. The HTTP endpoints imply them; batch items carry them
-// explicitly.
+// The wire protocol lives in internal/api — one versioned definition
+// shared by this server, the typed client, the daemons and the router.
+// The aliases keep the service package's historical names compiling for
+// in-process callers; they are the same types, so the JSON bytes are
+// unchanged by construction.
 const (
-	OpLabel    = "label"
-	OpSimulate = "simulate"
+	OpLabel    = api.OpLabel
+	OpSimulate = api.OpSimulate
 )
 
-// Request is one analysis request. Exactly one of Program (mini-language
-// source text) and Example (a built-in worked example: fig1, fig2, fig3,
-// buts) selects the program.
-type Request struct {
-	// Op is the operation: OpLabel or OpSimulate. The typed endpoints
-	// (Label, Simulate, /v1/label, /v1/simulate) fill it in; batch items
-	// must set it.
-	Op string `json:"op,omitempty"`
-	// Program is mini-language source text (see internal/lang).
-	Program string `json:"program,omitempty"`
-	// Example names a built-in program: fig1, fig2, fig3, buts.
-	Example string `json:"example,omitempty"`
-	// Deps includes the may-dependence list in label responses.
-	Deps bool `json:"deps,omitempty"`
-	// Procs overrides the simulated processor count (simulate only;
-	// 0 keeps the server's base machine).
-	Procs int `json:"procs,omitempty"`
-	// Capacity overrides the per-segment speculative storage capacity
-	// (simulate only; 0 keeps the server's base machine).
-	Capacity int `json:"capacity,omitempty"`
-}
+// Aliased wire documents (see internal/api for field documentation).
+type (
+	Request          = api.Request
+	RegionPatch      = api.RegionPatch
+	LabelResponse    = api.LabelResponse
+	RegionLabeling   = api.RegionLabeling
+	CategoryFraction = api.CategoryFraction
+	RefLabel         = api.RefLabel
+	SimulateResponse = api.SimulateResponse
+	ModelRow         = api.ModelRow
+	BatchRequest     = api.BatchRequest
+	BatchResponse    = api.BatchResponse
+	Health           = api.Health
+)
+
+// Aliased error taxonomy (see internal/api). errors.Is against these
+// works for in-process and wire errors alike.
+var (
+	ErrBadRequest  = api.ErrBadRequest
+	ErrOverloaded  = api.ErrOverloaded
+	ErrClosed      = api.ErrClosed
+	ErrTimeout     = api.ErrTimeout
+	ErrUnknownBase = api.ErrUnknownBase
+)
 
 // resolveProgram parses or looks up the request's program. The program is
 // validated here, in the submitting goroutine, so admission rejects
-// malformed requests before they consume queue space.
-func (req Request) resolveProgram() (*ir.Program, error) {
+// malformed requests before they consume queue space. Delta requests
+// (req.Base != "") are resolved by the server's resolveRequest, which has
+// access to the base registry; this free function handles the stateless
+// selectors.
+func resolveProgram(req Request) (*ir.Program, error) {
 	switch {
 	case req.Program != "" && req.Example != "":
 		return nil, fmt.Errorf("use either program or example, not both")
@@ -65,77 +75,8 @@ func (req Request) resolveProgram() (*ir.Program, error) {
 			return nil, fmt.Errorf("unknown example %q (want fig1, fig2, fig3, buts)", req.Example)
 		}
 	default:
-		return nil, fmt.Errorf("empty request: pass program source or an example name")
+		return nil, fmt.Errorf("empty request: pass program source, an example name, or a base fingerprint with patches")
 	}
-}
-
-// LabelResponse is the document served for label requests. Field order,
-// slice ordering and float formatting are all deterministic: identical
-// programs yield byte-identical documents.
-type LabelResponse struct {
-	Op          string           `json:"op"`
-	Program     string           `json:"program"`
-	Fingerprint string           `json:"fingerprint"`
-	Regions     []RegionLabeling `json:"regions"`
-}
-
-// RegionLabeling is one region's labeling in a LabelResponse.
-type RegionLabeling struct {
-	Name             string             `json:"name"`
-	Kind             string             `json:"kind"`
-	FullyIndependent bool               `json:"fully_independent"`
-	IdemFraction     float64            `json:"idem_fraction"`
-	Categories       []CategoryFraction `json:"categories,omitempty"`
-	Refs             []RefLabel         `json:"refs"`
-	Deps             []string           `json:"deps,omitempty"`
-}
-
-// CategoryFraction reports the static fraction of one idempotency
-// category (only categories with a non-zero fraction appear, in the
-// paper's §4.1 order).
-type CategoryFraction struct {
-	Category string  `json:"category"`
-	Fraction float64 `json:"fraction"`
-}
-
-// RefLabel is one reference row: the same evidence cmd/idemlabel prints.
-type RefLabel struct {
-	Ref      string `json:"ref"`
-	Segment  string `json:"segment"`
-	Label    string `json:"label"`
-	Category string `json:"category"`
-	// RFW reports re-occurring-first-write status; writes only.
-	RFW       *bool `json:"rfw,omitempty"`
-	CrossSink bool  `json:"cross_sink"`
-}
-
-// SimulateResponse is the document served for simulate requests.
-type SimulateResponse struct {
-	Op           string     `json:"op"`
-	Program      string     `json:"program"`
-	Fingerprint  string     `json:"fingerprint"`
-	Processors   int        `json:"processors"`
-	SpecCapacity int        `json:"spec_capacity"`
-	Models       []ModelRow `json:"models"`
-	// Verified reports that both speculative runs reproduced the
-	// sequential live-out memory state (it is always true in a served
-	// response; a mismatch is an error instead).
-	Verified bool `json:"verified"`
-}
-
-// ModelRow is one execution model's outcome in a SimulateResponse.
-type ModelRow struct {
-	Mode                string  `json:"mode"`
-	Cycles              int64   `json:"cycles"`
-	Speedup             float64 `json:"speedup"`
-	DynRefs             int64   `json:"dyn_refs"`
-	IdemRefs            int64   `json:"idem_refs"`
-	Overflows           int64   `json:"overflows"`
-	OverflowStallCycles int64   `json:"overflow_stall_cycles"`
-	FlowViolations      int64   `json:"flow_violations"`
-	ControlViolations   int64   `json:"control_violations"`
-	PeakSpecOccupancy   int     `json:"peak_spec_occupancy"`
-	UtilizationPct      float64 `json:"utilization_pct"`
 }
 
 // marshalResponse renders a response document: two-space indent, trailing
@@ -150,6 +91,60 @@ func marshalResponse(doc any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
+// renderRegionLabeling builds one region's row of a label document from
+// its labeling result. It is the single rendering body shared by the
+// full-program path and the delta fragment cache, so a reused fragment
+// is byte-identical to a fresh rendering by construction. The Deps list
+// is always rendered (the fragment cache stores it once and strips it
+// for requests that did not ask); stripDeps below removes it.
+func renderRegionLabeling(r *ir.Region, res *idem.Result) RegionLabeling {
+	total, byCat := res.IdempotentFraction()
+	reg := RegionLabeling{
+		Name:             r.Name,
+		Kind:             fmt.Sprint(r.Kind),
+		FullyIndependent: res.FullyIndependent,
+		IdemFraction:     total,
+		Refs:             make([]RefLabel, 0, len(r.Refs)),
+	}
+	for _, c := range []idem.Category{idem.CatReadOnly, idem.CatPrivate, idem.CatSharedDependent, idem.CatFullyIndependent} {
+		if f := byCat[c]; f > 0 {
+			reg.Categories = append(reg.Categories, CategoryFraction{Category: c.String(), Fraction: f})
+		}
+	}
+	for _, ref := range r.Refs {
+		segName := fmt.Sprint(ref.SegID)
+		if s := r.Seg(ref.SegID); s != nil && s.Name != "" {
+			segName = s.Name
+		}
+		row := RefLabel{
+			Ref:       refText(ref),
+			Segment:   segName,
+			Label:     res.Label(ref).String(),
+			Category:  res.Category(ref).String(),
+			CrossSink: res.Deps.IsCrossSink(ref),
+		}
+		if ref.Access == ir.Write {
+			isRFW := res.RFW.IsRFW(ref)
+			row.RFW = &isRFW
+		}
+		reg.Refs = append(reg.Refs, row)
+	}
+	reg.Deps = make([]string, 0, len(res.Deps.All))
+	for _, d := range res.Deps.All {
+		reg.Deps = append(reg.Deps, fmt.Sprint(d))
+	}
+	sort.Strings(reg.Deps)
+	return reg
+}
+
+// stripDeps returns the row without its dependence list (requests that
+// did not set "deps"). Rows are value types, so the fragment cache's
+// copy is untouched.
+func stripDeps(reg RegionLabeling) RegionLabeling {
+	reg.Deps = nil
+	return reg
+}
+
 // renderLabelResponse builds the label document from a canonical labeled
 // program (as returned by a cache shard). fp is the program's content
 // fingerprint, already computed at admission.
@@ -161,44 +156,9 @@ func renderLabelResponse(fp ir.Fingerprint, p *ir.Program, labs map[*ir.Region]*
 		Regions:     make([]RegionLabeling, 0, len(p.Regions)),
 	}
 	for _, r := range p.Regions {
-		res := labs[r]
-		total, byCat := res.IdempotentFraction()
-		reg := RegionLabeling{
-			Name:             r.Name,
-			Kind:             fmt.Sprint(r.Kind),
-			FullyIndependent: res.FullyIndependent,
-			IdemFraction:     total,
-			Refs:             make([]RefLabel, 0, len(r.Refs)),
-		}
-		for _, c := range []idem.Category{idem.CatReadOnly, idem.CatPrivate, idem.CatSharedDependent, idem.CatFullyIndependent} {
-			if f := byCat[c]; f > 0 {
-				reg.Categories = append(reg.Categories, CategoryFraction{Category: c.String(), Fraction: f})
-			}
-		}
-		for _, ref := range r.Refs {
-			segName := fmt.Sprint(ref.SegID)
-			if s := r.Seg(ref.SegID); s != nil && s.Name != "" {
-				segName = s.Name
-			}
-			row := RefLabel{
-				Ref:       refText(ref),
-				Segment:   segName,
-				Label:     res.Label(ref).String(),
-				Category:  res.Category(ref).String(),
-				CrossSink: res.Deps.IsCrossSink(ref),
-			}
-			if ref.Access == ir.Write {
-				isRFW := res.RFW.IsRFW(ref)
-				row.RFW = &isRFW
-			}
-			reg.Refs = append(reg.Refs, row)
-		}
-		if withDeps {
-			reg.Deps = make([]string, 0, len(res.Deps.All))
-			for _, d := range res.Deps.All {
-				reg.Deps = append(reg.Deps, fmt.Sprint(d))
-			}
-			sort.Strings(reg.Deps)
+		reg := renderRegionLabeling(r, labs[r])
+		if !withDeps {
+			reg = stripDeps(reg)
 		}
 		doc.Regions = append(doc.Regions, reg)
 	}

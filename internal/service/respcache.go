@@ -28,9 +28,23 @@ type respKey struct {
 // allocs/op gate on BenchmarkServiceLabelSerial holds it there.
 func respKeyOf(req Request) respKey {
 	h := sha256.New()
-	if req.Example != "" {
+	switch {
+	case req.Example != "":
 		h.Write([]byte("example:" + req.Example))
-	} else {
+	case req.Base != "":
+		// Delta selector: the base fingerprint plus every patch,
+		// length-prefixed so adjacent fields cannot alias across requests.
+		h.Write([]byte("base:" + req.Base))
+		var lenbuf [8]byte
+		for _, p := range req.Patches {
+			binary.BigEndian.PutUint64(lenbuf[:], uint64(len(p.Region)))
+			h.Write(lenbuf[:])
+			h.Write([]byte(p.Region))
+			binary.BigEndian.PutUint64(lenbuf[:], uint64(len(p.Source)))
+			h.Write(lenbuf[:])
+			h.Write([]byte(p.Source))
+		}
+	default:
 		h.Write([]byte("src:" + req.Program))
 	}
 	k := respKey{op: req.Op, deps: req.Deps, procs: req.Procs, capacity: req.Capacity}

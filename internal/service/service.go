@@ -44,22 +44,10 @@ import (
 	"refidem/internal/store"
 )
 
-// Typed service errors. The HTTP layer maps them to status codes;
-// in-process callers test with errors.Is.
-var (
-	// ErrBadRequest wraps malformed requests: unparseable programs,
-	// unknown examples, invalid parameters.
-	ErrBadRequest = errors.New("bad request")
-	// ErrOverloaded is returned when the admission queue is full. The
-	// request was not admitted; the caller may retry.
-	ErrOverloaded = errors.New("overloaded: admission queue full")
-	// ErrClosed is returned for requests submitted after Close began.
-	ErrClosed = errors.New("server closed")
-	// ErrTimeout is returned when a request exceeds the server's
-	// configured per-request deadline (Config.RequestTimeout). The HTTP
-	// layer maps it to 504.
-	ErrTimeout = errors.New("request deadline exceeded")
-)
+// The typed service errors (ErrBadRequest, ErrOverloaded, ErrClosed,
+// ErrTimeout, ErrUnknownBase) are the internal/api taxonomy, re-exported
+// in request.go. The HTTP layer maps them to status codes; in-process
+// callers test with errors.Is.
 
 // Config parameterizes a Server. The zero value is normalized to the
 // defaults documented per field; DefaultConfig spells them out.
@@ -126,6 +114,15 @@ type Config struct {
 	// confidences, never labels — while /metricz gains per-member query,
 	// hit and short-circuit counters.
 	Ensemble bool
+	// DeltaBases bounds the base registry: the canonical sources of the
+	// most recently analyzed programs, addressable as delta bases by
+	// fingerprint (0 selects 256, negative disables delta serving —
+	// every delta request then answers ErrUnknownBase).
+	DeltaBases int
+	// DeltaFragments bounds the per-region fragment cache delta requests
+	// reuse labelings from (0 selects 4096, negative disables reuse —
+	// delta requests then re-label every region, still byte-identically).
+	DeltaFragments int
 }
 
 // DefaultConfig returns the production defaults: 8 cache shards of 64
@@ -167,6 +164,12 @@ func (c Config) normalized() Config {
 	if c.StoreQueueDepth <= 0 {
 		c.StoreQueueDepth = 256
 	}
+	if c.DeltaBases == 0 {
+		c.DeltaBases = 256
+	}
+	if c.DeltaFragments == 0 {
+		c.DeltaFragments = 4096
+	}
 	if c.StoreProbeInterval <= 0 {
 		c.StoreProbeInterval = 3 * time.Second
 	}
@@ -182,6 +185,12 @@ type Server struct {
 	resp    *respCache // nil when disabled
 	metrics *Metrics
 	flight  *obs.FlightRecorder // nil when disabled
+
+	// Delta serving (see delta.go): the base registry resolves delta
+	// requests, the fragment cache reuses per-region labelings across
+	// requests and programs. Either is nil when disabled.
+	bases *baseRegistry
+	frags *fragCache
 
 	mu       sync.Mutex
 	closed   bool
@@ -224,6 +233,12 @@ type task struct {
 	resp []byte
 	err  error
 
+	// delta marks tasks admitted from a delta request (Base set): label
+	// computation goes through the per-region fragment path instead of
+	// the whole-program cache. The response bytes are identical either
+	// way, so coalescing full and delta requests onto one task is exact.
+	delta bool
+
 	// Flight-recorder stage timings of the worker-side phases (zero when
 	// the recorder is off) and the response source ("store" or
 	// "compute"). Coalesced waiters all report the one computation they
@@ -256,6 +271,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.ResponseCache > 0 {
 		s.resp = newRespCache(cfg.Shards, cfg.ResponseCache)
+	}
+	if cfg.DeltaBases > 0 {
+		s.bases = newBaseRegistry(cfg.DeltaBases)
+	}
+	if cfg.DeltaFragments > 0 {
+		s.frags = newFragCache(cfg.DeltaFragments)
 	}
 	if cfg.FlightSpans > 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightSpans)
@@ -394,13 +415,24 @@ func (s *Server) DoTraced(ctx context.Context, req Request) ([]byte, uint64, err
 		return nil, s.finishSpan(fl, &sp, ErrClosed), ErrClosed
 	}
 	// Structural validation runs before the response-cache lookup: the
-	// cache keys on one program selector, so a malformed request (both
+	// cache keys on one program selector, so a malformed request (several
 	// selectors set, or bad parameters) could otherwise collide with a
 	// cached valid request and be accepted or rejected depending on
 	// cache warmth.
-	if req.Program != "" && req.Example != "" {
+	selectors := 0
+	for _, set := range []bool{req.Program != "", req.Example != "", req.Base != ""} {
+		if set {
+			selectors++
+		}
+	}
+	if selectors > 1 {
 		s.metrics.badRequests.Add(1)
-		err := fmt.Errorf("%w: use either program or example, not both", ErrBadRequest)
+		err := fmt.Errorf("%w: use exactly one of program, example or base", ErrBadRequest)
+		return nil, s.finishSpan(fl, &sp, err), err
+	}
+	if len(req.Patches) > 0 && req.Base == "" {
+		s.metrics.badRequests.Add(1)
+		err := fmt.Errorf("%w: patches require a base fingerprint", ErrBadRequest)
 		return nil, s.finishSpan(fl, &sp, err), err
 	}
 	if req.Procs < 0 || req.Capacity < 0 {
@@ -432,10 +464,12 @@ func (s *Server) DoTraced(ctx context.Context, req Request) ([]byte, uint64, err
 			return resp, s.finishSpan(fl, &sp, nil), nil
 		}
 	}
-	prog, err := req.resolveProgram()
+	prog, err := s.resolveRequest(req)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		if !errors.Is(err, ErrUnknownBase) {
+			err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
 		return nil, s.finishSpan(fl, &sp, err), err
 	}
 	if fl != nil {
@@ -502,7 +536,7 @@ func (s *Server) admit(req Request, prog *ir.Program) (*task, bool, error) {
 			return t, true, nil
 		}
 	}
-	t := &task{key: key, prog: prog, done: make(chan struct{})}
+	t := &task{key: key, prog: prog, delta: req.Base != "", done: make(chan struct{})}
 	select {
 	case s.queue <- t:
 	default:
@@ -608,6 +642,34 @@ func (s *Server) run(t *task) {
 		lap = now
 	}
 	s.metrics.computed.Add(1)
+	s.compute(t)
+	if t.err == nil {
+		// The resolved program becomes addressable as a delta base — for
+		// delta tasks too, so edits can chain base → patched → re-patched.
+		s.registerBase(t.key.fp, t.prog)
+	}
+	if flight {
+		now := time.Now()
+		t.spanCompute = now.Sub(lap).Nanoseconds()
+		lap = now
+		t.src = "compute"
+	}
+	if t.err == nil && t.resp != nil {
+		s.persistAsync(t.key, t.resp)
+	}
+	if flight {
+		t.spanStoreWrite = time.Since(lap).Nanoseconds()
+	}
+}
+
+// compute produces one task's response bytes. Delta label tasks go
+// through the per-region fragment path (see delta.go); everything else
+// labels the whole program through its cache shard and renders.
+func (s *Server) compute(t *task) {
+	if t.delta && t.key.op == OpLabel {
+		t.resp, t.err = s.labelDelta(t.key, t.prog)
+		return
+	}
 	shard := s.shardFor(t.key.fp)
 	// The shard canonicalizes: identical programs share one labeled
 	// program, so response rendering below sees identical inputs and the
@@ -620,6 +682,11 @@ func (s *Server) run(t *task) {
 	switch t.key.op {
 	case OpLabel:
 		t.resp, t.err = renderLabelResponse(t.key.fp, prog, labs, t.key.deps)
+		if t.err == nil {
+			// Seed the fragment cache so a later delta against this
+			// program reuses its unchanged regions.
+			s.populateFragments(prog, labs)
+		}
 	case OpSimulate:
 		cfg := s.cfg.Engine
 		if t.key.procs > 0 {
@@ -637,18 +704,6 @@ func (s *Server) run(t *task) {
 		}
 	default:
 		t.err = fmt.Errorf("%w: unknown op %q", ErrBadRequest, t.key.op)
-	}
-	if flight {
-		now := time.Now()
-		t.spanCompute = now.Sub(lap).Nanoseconds()
-		lap = now
-		t.src = "compute"
-	}
-	if t.err == nil && t.resp != nil {
-		s.persistAsync(t.key, t.resp)
-	}
-	if flight {
-		t.spanStoreWrite = time.Since(lap).Nanoseconds()
 	}
 }
 

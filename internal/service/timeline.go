@@ -12,6 +12,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -36,9 +37,12 @@ func (s *Server) SimulateTimeline(ctx context.Context, req Request, w io.Writer)
 	if req.Procs < 0 || req.Capacity < 0 {
 		return fmt.Errorf("%w: procs and capacity must be non-negative", ErrBadRequest)
 	}
-	prog, err := req.resolveProgram()
+	prog, err := s.resolveRequest(req)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		if !errors.Is(err, ErrUnknownBase) {
+			err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return err
 	}
 	shard := s.shardFor(ir.FingerprintOf(prog))
 	prog, labs, err := shard.Labeled(prog)

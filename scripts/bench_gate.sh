@@ -15,7 +15,12 @@
 # (queue path with coalescing on/off plus the response-cache fast path)
 # and BenchmarkServiceSimulateThroughput (label + simulate pipeline) —
 # and the persistent-store benchmarks BenchmarkStore* (durable put,
-# validated get, recovery scan). Allocation counts are
+# validated get, recovery scan), plus the router's routing hot path
+# BenchmarkRouterRoute (ring walk + bounded-load pick, no network —
+# gated exactly at 2 allocs/op so placement never grows a hidden
+# allocation). BenchmarkServiceLabelDelta rides the BenchmarkServiceLabel
+# prefix: the steady-state delta path (every unchanged region served
+# from the fragment cache) is alloc-exact too. Allocation counts are
 # machine-independent for the single-threaded benchmarks
 # (BenchmarkServiceLabelSerial included), so their allocs gate is exact;
 # the *Throughput service benchmarks run concurrent submitters whose
@@ -31,15 +36,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkDepsQuery|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore}"
+BENCH="${BENCH:-BenchmarkEngine|BenchmarkAnalysisPipeline|BenchmarkDepsQuery|BenchmarkSequentialBaseline|BenchmarkService|BenchmarkStore|BenchmarkRouterRoute}"
 BENCHTIME="${BENCHTIME:-1s}"
 BASELINE="${BASELINE:-BENCH_results.json}"
 MAX_REGRESS="${MAX_REGRESS:-0.25}"
-PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkDepsQuery,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput,BenchmarkStore}"
+PREFIXES="${PREFIXES:-BenchmarkEngine,BenchmarkAnalysisPipeline,BenchmarkDepsQuery,BenchmarkSequentialBaseline,BenchmarkServiceLabel,BenchmarkServiceSimulateThroughput,BenchmarkStore,BenchmarkRouterRoute}"
 ALLOC_SLACK="${ALLOC_SLACK:-0.25}"
 
 go build -o /tmp/benchjson ./cmd/benchjson
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service ./internal/store |
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . ./internal/service ./internal/store ./internal/cluster |
   tee /dev/stderr |
   /tmp/benchjson -gate "$BASELINE" -gate-prefix "$PREFIXES" -gate-max-regress "$MAX_REGRESS" \
     -gate-alloc-slack "$ALLOC_SLACK" \
